@@ -1,0 +1,77 @@
+// Approximate query processing scenario (paper Example 2): sampling scans
+// trade execution time against result precision. The example optimizes a
+// large TPC-H join, prints the time/precision frontier, and shows which
+// plan a user would pick under three different deadlines.
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "catalog/tpch.h"
+#include "core/iama.h"
+#include "plan/plan_printer.h"
+#include "query/tpch_queries.h"
+
+using namespace moqo;
+
+int main() {
+  const Catalog catalog = MakeTpchCatalog();
+  // lineitem ⋈ part (TPC-H Q14): 6M-row fact table, ideal for sampling.
+  const auto blocks = TpchBlocksWithTables(catalog, 2);
+  const Query* q14 = nullptr;
+  for (const Query& q : blocks) {
+    if (q.name == "q14") q14 = &q;
+  }
+  if (q14 == nullptr) {
+    std::fprintf(stderr, "q14 not found\n");
+    return 1;
+  }
+
+  OperatorOptions op_options;
+  op_options.max_sampling_rates_per_table = 5;  // Deep sampling ladder.
+  op_options.max_workers = 2;
+  const PlanFactory factory(*q14, catalog, MetricSchema::Approx2(),
+                            CostModelParams{}, op_options);
+
+  IamaOptions options;
+  options.schedule = ResolutionSchedule(10, 1.005, 0.3);
+  IamaSession session(factory, options);
+  NoInteractionPolicy policy;
+  FrontierSnapshot last;
+  session.Run(&policy, 10, [&](const FrontierSnapshot& s) { last = s; });
+
+  // Sort the frontier by time and print the tradeoff table.
+  std::vector<CellIndex::Entry> plans = last.plans;
+  std::sort(plans.begin(), plans.end(),
+            [](const CellIndex::Entry& a, const CellIndex::Entry& b) {
+              return a.cost[0] < b.cost[0];
+            });
+  std::printf("=== time / precision tradeoffs for TPC-H %s ===\n\n",
+              q14->name.c_str());
+  std::printf("%14s %18s   plan\n", "time(ms)", "precision err");
+  for (const auto& e : plans) {
+    std::printf("%14.2f %18.5f   %s\n", e.cost[0], e.cost[1],
+                PlanToString(session.optimizer().arena(), e.id, *q14)
+                    .c_str());
+  }
+
+  // Pick plans under three deadlines: generous, tight, interactive.
+  for (double deadline_ms : {1e9, 5000.0, 500.0}) {
+    const CellIndex::Entry* best = nullptr;
+    for (const auto& e : plans) {
+      if (e.cost[0] > deadline_ms) continue;
+      if (best == nullptr || e.cost[1] < best->cost[1]) best = &e;
+    }
+    std::printf("\ndeadline %.0f ms -> ", deadline_ms);
+    if (best == nullptr) {
+      std::printf("no plan meets the deadline\n");
+    } else {
+      std::printf("error %.5f, time %.2f ms:\n%s", best->cost[1],
+                  best->cost[0],
+                  PlanToTreeString(session.optimizer().arena(), best->id,
+                                   *q14)
+                      .c_str());
+    }
+  }
+  return 0;
+}

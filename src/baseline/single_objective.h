@@ -1,0 +1,40 @@
+// Classical single-objective dynamic programming (Selinger-style, bushy).
+//
+// Reference baseline: minimizes one metric (or a weighted combination of
+// metrics). Theorem 5 states that IAMA's amortized per-invocation cost
+// approaches the cost of single-objective DP with bushy plans; tests also
+// use this optimizer to verify that IAMA's result sets contain plans that
+// are near-optimal for each individual metric.
+#ifndef MOQO_BASELINE_SINGLE_OBJECTIVE_H_
+#define MOQO_BASELINE_SINGLE_OBJECTIVE_H_
+
+#include <vector>
+
+#include "cost/cost_vector.h"
+#include "plan/arena.h"
+#include "plan/cost_model.h"
+
+namespace moqo {
+
+struct SingleObjectiveResult {
+  PlanArena arena;
+  PlanId best_plan = kInvalidPlan;
+  // The scalarized objective value of the best plan.
+  double best_value = 0.0;
+  // The best plan's full cost vector.
+  CostVector best_cost;
+  uint64_t plans_generated = 0;
+};
+
+// Minimizes sum_i weights[i] * cost[i]; `weights` must have one
+// non-negative entry per schema metric, not all zero.
+SingleObjectiveResult RunSingleObjective(const PlanFactory& factory,
+                                         const std::vector<double>& weights);
+
+// Convenience: minimize exactly one metric (by schema position).
+SingleObjectiveResult MinimizeMetric(const PlanFactory& factory,
+                                     int metric_index);
+
+}  // namespace moqo
+
+#endif  // MOQO_BASELINE_SINGLE_OBJECTIVE_H_

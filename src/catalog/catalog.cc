@@ -1,0 +1,25 @@
+#include "catalog/catalog.h"
+
+#include "util/common.h"
+
+namespace moqo {
+
+TableId Catalog::AddTable(TableDef def) {
+  MOQO_CHECK_MSG(def.cardinality >= 1.0, "table cardinality must be >= 1");
+  tables_.push_back(std::move(def));
+  return static_cast<TableId>(tables_.size() - 1);
+}
+
+const TableDef& Catalog::Get(TableId id) const {
+  MOQO_CHECK(id >= 0 && id < NumTables());
+  return tables_[static_cast<size_t>(id)];
+}
+
+StatusOr<TableId> Catalog::FindByName(const std::string& name) const {
+  for (int i = 0; i < NumTables(); ++i) {
+    if (tables_[static_cast<size_t>(i)].name == name) return i;
+  }
+  return Status::NotFound("no table named '" + name + "'");
+}
+
+}  // namespace moqo

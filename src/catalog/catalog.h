@@ -1,0 +1,54 @@
+// Catalog: table definitions and base statistics.
+//
+// Replaces the Postgres catalog the paper's implementation sat on: the
+// optimizer only needs per-table cardinality, width, page count, and index
+// availability, plus join selectivities (which live on the query's join
+// graph, see src/query/join_graph.h).
+#ifndef MOQO_CATALOG_CATALOG_H_
+#define MOQO_CATALOG_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace moqo {
+
+using TableId = int;
+
+struct TableDef {
+  std::string name;
+  // Number of rows in the base table.
+  double cardinality = 0.0;
+  // Average row width in bytes; determines page count.
+  double row_bytes = 100.0;
+  // Whether an index is available (enables index scans).
+  bool has_index = true;
+
+  // Number of disk pages, assuming 8 KiB pages.
+  double Pages() const {
+    const double kPageBytes = 8192.0;
+    const double pages = cardinality * row_bytes / kPageBytes;
+    return pages < 1.0 ? 1.0 : pages;
+  }
+};
+
+// An append-only collection of table definitions.
+class Catalog {
+ public:
+  // Returns the id of the newly added table.
+  TableId AddTable(TableDef def);
+
+  int NumTables() const { return static_cast<int>(tables_.size()); }
+  const TableDef& Get(TableId id) const;
+
+  // Looks up a table by name.
+  StatusOr<TableId> FindByName(const std::string& name) const;
+
+ private:
+  std::vector<TableDef> tables_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_CATALOG_CATALOG_H_

@@ -1,0 +1,38 @@
+#include "catalog/statistics.h"
+
+#include <cmath>
+
+namespace moqo {
+
+std::vector<double> SamplingRates(const TableDef& table,
+                                  int max_rates_per_table) {
+  std::vector<double> rates;
+  if (max_rates_per_table <= 0) return rates;
+  // A sample is only useful if it still contains a statistically
+  // meaningful number of rows; require >= ~1000 sampled rows. Each rate
+  // divides the previous one by 4.
+  const double kMinSampleRows = 1000.0;
+  double rate = 0.25;
+  while (static_cast<int>(rates.size()) < max_rates_per_table &&
+         rate * table.cardinality >= kMinSampleRows) {
+    rates.push_back(rate);
+    rate /= 4.0;
+  }
+  return rates;
+}
+
+std::vector<int> WorkerCounts(int max_workers) {
+  // Powers of two plus the intermediate 1.5x grades (3, 6, 12, ...):
+  // resource managers typically expose a geometric ladder of parallelism
+  // grades, and the denser ladder yields a denser time/cores tradeoff
+  // surface.
+  std::vector<int> counts;
+  for (int w = 1; w <= max_workers; w *= 2) {
+    counts.push_back(w);
+    const int mid = w + w / 2;
+    if (w >= 2 && mid <= max_workers) counts.push_back(mid);
+  }
+  return counts;
+}
+
+}  // namespace moqo

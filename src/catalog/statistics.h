@@ -1,0 +1,29 @@
+// Derived per-table statistics used by the physical operator library.
+#ifndef MOQO_CATALOG_STATISTICS_H_
+#define MOQO_CATALOG_STATISTICS_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace moqo {
+
+// Sampling strategies available for a table. Approximate query processing
+// trades result precision for execution time by scanning a sample of the
+// table. Larger tables support more (and more aggressive) sampling rates;
+// tiny tables support none — this reproduces the paper's footnote 4 (the
+// 8-table TPC-H query touches many small tables for which fewer sampling
+// strategies are considered).
+//
+// Returned rates are in (0, 1); the full scan (rate 1.0) is always
+// available in addition and not included here.
+std::vector<double> SamplingRates(const TableDef& table,
+                                  int max_rates_per_table);
+
+// Worker counts available for parallel execution of an operator,
+// e.g. {1, 2, 4, ...} up to max_workers.
+std::vector<int> WorkerCounts(int max_workers);
+
+}  // namespace moqo
+
+#endif  // MOQO_CATALOG_STATISTICS_H_

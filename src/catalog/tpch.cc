@@ -1,0 +1,33 @@
+#include "catalog/tpch.h"
+
+#include "util/common.h"
+
+namespace moqo {
+
+Catalog MakeTpchCatalog(double scale_factor) {
+  MOQO_CHECK(scale_factor > 0.0);
+  const double sf = scale_factor;
+  Catalog catalog;
+  // Cardinalities per the TPC-H specification. REGION and NATION are
+  // fixed-size; the remaining tables scale with the scale factor.
+  TableId id;
+  id = catalog.AddTable({"region", 5.0, 124.0, true});
+  MOQO_CHECK(id == kRegion);
+  id = catalog.AddTable({"nation", 25.0, 109.0, true});
+  MOQO_CHECK(id == kNation);
+  id = catalog.AddTable({"supplier", 10000.0 * sf, 159.0, true});
+  MOQO_CHECK(id == kSupplier);
+  id = catalog.AddTable({"customer", 150000.0 * sf, 179.0, true});
+  MOQO_CHECK(id == kCustomer);
+  id = catalog.AddTable({"part", 200000.0 * sf, 155.0, true});
+  MOQO_CHECK(id == kPart);
+  id = catalog.AddTable({"partsupp", 800000.0 * sf, 144.0, true});
+  MOQO_CHECK(id == kPartsupp);
+  id = catalog.AddTable({"orders", 1500000.0 * sf, 121.0, true});
+  MOQO_CHECK(id == kOrders);
+  id = catalog.AddTable({"lineitem", 6001215.0 * sf, 129.0, true});
+  MOQO_CHECK(id == kLineitem);
+  return catalog;
+}
+
+}  // namespace moqo

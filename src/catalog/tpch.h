@@ -1,0 +1,30 @@
+// TPC-H scale-factor-1 catalog.
+//
+// The paper evaluates on TPC-H queries on top of Postgres; we reproduce the
+// schema-level statistics (public SF-1 cardinalities) that drive the
+// optimizer's search space.
+#ifndef MOQO_CATALOG_TPCH_H_
+#define MOQO_CATALOG_TPCH_H_
+
+#include "catalog/catalog.h"
+
+namespace moqo {
+
+// Indices of the TPC-H tables inside the catalog built by MakeTpchCatalog.
+enum TpchTable : TableId {
+  kRegion = 0,
+  kNation = 1,
+  kSupplier = 2,
+  kCustomer = 3,
+  kPart = 4,
+  kPartsupp = 5,
+  kOrders = 6,
+  kLineitem = 7,
+};
+
+// Builds the 8-table TPC-H catalog at the given scale factor (default 1).
+Catalog MakeTpchCatalog(double scale_factor = 1.0);
+
+}  // namespace moqo
+
+#endif  // MOQO_CATALOG_TPCH_H_

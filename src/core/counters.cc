@@ -1,0 +1,22 @@
+#include "core/counters.h"
+
+#include "util/str.h"
+
+namespace moqo {
+
+std::string Counters::ToString() const {
+  return StrFormat(
+      "plans=%llu pairs=%llu stale_pairs=%llu cand_retrievals=%llu "
+      "prunes=%llu res_ins=%llu cand_ins=%llu discarded=%llu dom_checks=%llu",
+      static_cast<unsigned long long>(plans_generated),
+      static_cast<unsigned long long>(pairs_generated),
+      static_cast<unsigned long long>(pairs_rejected_stale),
+      static_cast<unsigned long long>(candidate_retrievals),
+      static_cast<unsigned long long>(prune_calls),
+      static_cast<unsigned long long>(result_insertions),
+      static_cast<unsigned long long>(candidate_insertions),
+      static_cast<unsigned long long>(plans_discarded),
+      static_cast<unsigned long long>(dominance_checks));
+}
+
+}  // namespace moqo

@@ -1,0 +1,44 @@
+// Fresh sub-plan pair bookkeeping (paper Algorithm 3, function Fresh).
+//
+// The incremental optimizer must never combine the same pair of sub-plans
+// twice across invocations (Lemma 6). Two mechanisms cooperate:
+//   * the Δ-sets: only pairs with at least one member whose visibility is
+//     new in the current invocation are enumerated (see
+//     CellIndex::Collect), which keeps enumeration cost proportional to
+//     the change between invocations; and
+//   * the IsFresh predicate: a hash set over ordered (left, right) plan-id
+//     pairs, which guarantees at-most-once generation even when the Δ-sets
+//     degenerate to the full sets (e.g. after the user relaxes bounds).
+#ifndef MOQO_CORE_FRESH_H_
+#define MOQO_CORE_FRESH_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+namespace moqo {
+
+class FreshPairRegistry {
+ public:
+  // True if the ordered pair (left, right) has not been combined yet.
+  bool IsFresh(uint32_t left, uint32_t right) const {
+    return seen_.find(PairKey(left, right)) == seen_.end();
+  }
+
+  // Records the pair as combined; returns false if it already was.
+  bool Mark(uint32_t left, uint32_t right) {
+    return seen_.insert(PairKey(left, right)).second;
+  }
+
+  size_t size() const { return seen_.size(); }
+
+ private:
+  static uint64_t PairKey(uint32_t left, uint32_t right) {
+    return (static_cast<uint64_t>(left) << 32) | right;
+  }
+
+  std::unordered_set<uint64_t> seen_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_CORE_FRESH_H_

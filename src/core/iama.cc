@@ -1,0 +1,70 @@
+#include "core/iama.h"
+
+#include <algorithm>
+
+namespace moqo {
+namespace {
+
+CostVector InitialBounds(const PlanFactory& factory,
+                         const IamaOptions& options) {
+  if (options.initial_bounds.has_value()) return *options.initial_bounds;
+  return CostVector::Infinite(factory.cost_model().schema().dims());
+}
+
+}  // namespace
+
+IamaSession::IamaSession(const PlanFactory& factory, IamaOptions options)
+    : factory_(factory),
+      options_(options),
+      bounds_(InitialBounds(factory, options)),
+      optimizer_(factory, options.schedule, bounds_, options.optimizer) {}
+
+FrontierSnapshot IamaSession::Step() {
+  ++iteration_;
+  optimizer_.Optimize(bounds_, resolution_);
+  FrontierSnapshot snapshot;
+  snapshot.iteration = iteration_;
+  snapshot.resolution = resolution_;
+  snapshot.alpha = options_.schedule.Alpha(resolution_);
+  snapshot.bounds = bounds_;
+  snapshot.plans = optimizer_.ResultPlans(bounds_, resolution_);
+  return snapshot;
+}
+
+bool IamaSession::ApplyAction(const UserAction& action) {
+  switch (action.kind) {
+    case UserAction::Kind::kSelectPlan:
+      return true;
+    case UserAction::Kind::kSetBounds:
+      MOQO_CHECK(action.new_bounds.dims() == bounds_.dims());
+      bounds_ = action.new_bounds;
+      resolution_ = 0;  // Quickly show first results for the new bounds.
+      return false;
+    case UserAction::Kind::kContinue:
+      resolution_ =
+          std::min(options_.schedule.MaxResolution(), resolution_ + 1);
+      return false;
+  }
+  return false;
+}
+
+SessionResult IamaSession::Run(
+    InteractionPolicy* policy, int max_iterations,
+    const std::function<void(const FrontierSnapshot&)>& observer) {
+  MOQO_CHECK(policy != nullptr);
+  SessionResult result;
+  for (int i = 0; i < max_iterations; ++i) {
+    const FrontierSnapshot snapshot = Step();
+    if (observer) observer(snapshot);
+    const UserAction action = policy->OnSnapshot(snapshot);
+    result.iterations = iteration_;
+    if (action.kind == UserAction::Kind::kSelectPlan) {
+      result.selected_plan = action.selected;
+      return result;
+    }
+    ApplyAction(action);
+  }
+  return result;
+}
+
+}  // namespace moqo

@@ -1,0 +1,152 @@
+// IAMA: the Incremental Anytime Multi-objective query optimization
+// Algorithm — main control loop (paper §4.1, Algorithm 1).
+//
+// An IamaSession drives one interactive optimization of one query. Each
+// Step() performs one iteration of the main control loop: it invokes the
+// incremental optimizer for the current bounds and resolution, takes a
+// frontier snapshot (the "Visualize" call of the paper), and then either
+// refines the resolution or — if the interaction policy changed the
+// bounds — resets the resolution to 0. The session ends when the policy
+// selects a plan (or the caller stops stepping).
+//
+// The human user of the paper's interactive interface is modelled by the
+// InteractionPolicy interface; scripted policies reproduce the paper's
+// evaluation scenarios (no interaction; bound tightening/relaxing).
+#ifndef MOQO_CORE_IAMA_H_
+#define MOQO_CORE_IAMA_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/incremental_optimizer.h"
+#include "core/resolution.h"
+#include "cost/cost_vector.h"
+#include "plan/cost_model.h"
+
+namespace moqo {
+
+// What the "user" sees after each optimizer invocation: the cost vectors
+// of the completed result plans respecting the current bounds at the
+// current resolution (Res^Q[0..b, 0..r]).
+struct FrontierSnapshot {
+  int iteration = 0;           // Main-loop iteration number (1-based).
+  int resolution = 0;          // Resolution used by this iteration.
+  double alpha = 1.0;          // Precision factor of that resolution.
+  CostVector bounds;           // Bounds used by this iteration.
+  std::vector<CellIndex::Entry> plans;
+};
+
+// A user action taken after looking at a frontier snapshot.
+struct UserAction {
+  enum class Kind {
+    kContinue,      // No input; the loop refines the resolution.
+    kSetBounds,     // Drag bounds to a new position; resolution resets.
+    kSelectPlan,    // Click a cost tradeoff; optimization ends.
+  };
+  Kind kind = Kind::kContinue;
+  CostVector new_bounds;  // For kSetBounds.
+  PlanId selected = kInvalidPlan;  // For kSelectPlan.
+
+  static UserAction Continue() { return {}; }
+  static UserAction SetBounds(const CostVector& b) {
+    UserAction a;
+    a.kind = Kind::kSetBounds;
+    a.new_bounds = b;
+    return a;
+  }
+  static UserAction SelectPlan(PlanId p) {
+    UserAction a;
+    a.kind = Kind::kSelectPlan;
+    a.selected = p;
+    return a;
+  }
+};
+
+// Models the user in the interactive loop.
+class InteractionPolicy {
+ public:
+  virtual ~InteractionPolicy() = default;
+  virtual UserAction OnSnapshot(const FrontierSnapshot& snapshot) = 0;
+};
+
+// The paper's evaluation scenario: no user interaction, bounds fixed.
+class NoInteractionPolicy : public InteractionPolicy {
+ public:
+  UserAction OnSnapshot(const FrontierSnapshot&) override {
+    return UserAction::Continue();
+  }
+};
+
+// Replays a scripted sequence of (iteration -> action) events; useful for
+// bound-dragging scenarios in tests and benchmarks.
+class ScriptedPolicy : public InteractionPolicy {
+ public:
+  struct Event {
+    int iteration;      // 1-based main-loop iteration after which to act.
+    UserAction action;
+  };
+  explicit ScriptedPolicy(std::vector<Event> events)
+      : events_(std::move(events)) {}
+
+  UserAction OnSnapshot(const FrontierSnapshot& snapshot) override {
+    for (const Event& e : events_) {
+      if (e.iteration == snapshot.iteration) return e.action;
+    }
+    return UserAction::Continue();
+  }
+
+ private:
+  std::vector<Event> events_;
+};
+
+struct IamaOptions {
+  ResolutionSchedule schedule = ResolutionSchedule::Moderate(5);
+  // Default bounds (Algorithm 1 line 5); infinite = unbounded.
+  std::optional<CostVector> initial_bounds;
+  OptimizerOptions optimizer;
+};
+
+// Result of a full Run(): the selected plan (if any) plus statistics.
+struct SessionResult {
+  PlanId selected_plan = kInvalidPlan;
+  int iterations = 0;
+};
+
+class IamaSession {
+ public:
+  IamaSession(const PlanFactory& factory, IamaOptions options);
+
+  // Performs one main-loop iteration (optimize + visualize) and returns
+  // the snapshot. Afterwards, apply a user action via ApplyAction (or use
+  // Run below). Resolution advancement happens inside ApplyAction.
+  FrontierSnapshot Step();
+
+  // Applies a user action to the loop state; returns true if the session
+  // ended (plan selected).
+  bool ApplyAction(const UserAction& action);
+
+  // Runs the main loop until the policy selects a plan or `max_iterations`
+  // snapshots were produced. `observer`, if given, sees every snapshot.
+  SessionResult Run(InteractionPolicy* policy, int max_iterations,
+                    const std::function<void(const FrontierSnapshot&)>&
+                        observer = nullptr);
+
+  const IncrementalOptimizer& optimizer() const { return optimizer_; }
+  const CostVector& bounds() const { return bounds_; }
+  int resolution() const { return resolution_; }
+  int iteration() const { return iteration_; }
+
+ private:
+  const PlanFactory& factory_;
+  IamaOptions options_;
+  CostVector bounds_;
+  IncrementalOptimizer optimizer_;
+  int resolution_ = 0;
+  int iteration_ = 0;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_CORE_IAMA_H_

@@ -1,0 +1,216 @@
+#include "core/incremental_optimizer.h"
+
+#include <algorithm>
+
+#include "core/pruning.h"
+
+namespace moqo {
+namespace {
+
+struct BatchEntry {
+  uint32_t id = 0;
+  CostVector cost;
+  double score = 0.0;
+  uint8_t order = 0;
+};
+
+// Orders a batch of plans so that cheap plans are pruned first. The score
+// is a positive-weighted sum of the cost components (normalized by the
+// batch mean per metric), which is monotone w.r.t. dominance: if a
+// dominates b then score(a) <= score(b), so dominating plans enter the
+// result set before the plans they suppress. This keeps the append-only
+// result sets close to minimal (see OptimizerOptions::sorted_pruning).
+void SortBatch(std::vector<BatchEntry>& batch) {
+  if (batch.size() < 2) return;
+  const int dims = batch[0].cost.dims();
+  CostVector scale(dims, 0.0);
+  for (const BatchEntry& e : batch) {
+    for (int i = 0; i < dims; ++i) scale[i] += e.cost[i];
+  }
+  for (int i = 0; i < dims; ++i) {
+    scale[i] = scale[i] > 0.0 ? batch.size() / scale[i] : 0.0;
+  }
+  for (BatchEntry& e : batch) {
+    double score = 0.0;
+    for (int i = 0; i < dims; ++i) score += e.cost[i] * scale[i];
+    e.score = score;
+  }
+  std::sort(batch.begin(), batch.end(),
+            [](const BatchEntry& a, const BatchEntry& b) {
+              return a.score < b.score;
+            });
+}
+
+}  // namespace
+
+IncrementalOptimizer::IncrementalOptimizer(const PlanFactory& factory,
+                                           ResolutionSchedule schedule,
+                                           const CostVector& initial_bounds,
+                                           OptimizerOptions options)
+    : factory_(factory),
+      schedule_(schedule),
+      options_(options),
+      res_(factory.NumTables(), factory.cost_model().schema().dims(),
+           options.cell_gamma),
+      cand_(factory.NumTables(), factory.cost_model().schema().dims(),
+            options.cell_gamma) {
+  counters_.track_per_plan = options_.track_per_plan_counters;
+
+  const int n = factory_.NumTables();
+  // Precompute the connected table subsets, grouped by size; the DP in
+  // phase 2 only ever touches these.
+  connected_by_size_.assign(static_cast<size_t>(n) + 1, {});
+  const uint32_t full = TableSet::Full(n).mask();
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    const TableSet q(mask);
+    if (factory_.graph().IsConnected(q)) {
+      connected_by_size_[static_cast<size_t>(q.Count())].push_back(q);
+    }
+  }
+
+  // Fill in scan plans for single tables (Algorithm 1 lines 7-10). The
+  // seeding is part of invocation 1 so that the first Optimize call sees
+  // the scan plans as Δ members.
+  for (int t = 0; t < n; ++t) {
+    const TableSet q = TableSet::Singleton(t);
+    std::vector<BatchEntry> batch;
+    factory_.ForEachScan(t, [&](const OperatorDesc& op, const OpCost& oc) {
+      const PlanId id =
+          arena_.AddScan(q, op, oc.cost, oc.output_rows, oc.order);
+      ++counters_.plans_generated;
+      batch.push_back({id, oc.cost, 0.0, oc.order});
+    });
+    if (options_.sorted_pruning) SortBatch(batch);
+    for (const BatchEntry& e : batch) {
+      PrunePlan(q, e.id, e.cost, e.order, initial_bounds, /*resolution=*/0);
+    }
+  }
+}
+
+void IncrementalOptimizer::PrunePlan(TableSet q, uint32_t plan_id,
+                                     const CostVector& cost, int order,
+                                     const CostVector& bounds,
+                                     int resolution) {
+  const int compare_resolution = options_.prune_against_all_resolutions
+                                     ? schedule_.MaxResolution()
+                                     : resolution;
+  Prune(res_.For(q), cand_.For(q), bounds, resolution, compare_resolution,
+        schedule_, plan_id, cost, order, invocation_,
+        options_.park_next_level_only, &counters_);
+}
+
+void IncrementalOptimizer::Optimize(const CostVector& bounds,
+                                    int resolution) {
+  MOQO_CHECK(resolution >= 0 && resolution <= schedule_.MaxResolution());
+  MOQO_CHECK(bounds.dims() == factory_.cost_model().schema().dims());
+  if (first_optimize_done_) {
+    ++invocation_;
+  } else {
+    first_optimize_done_ = true;  // Share invocation 1 with the seeding.
+  }
+
+  const int n = factory_.NumTables();
+
+  // --- Phase 1: re-consider candidate plans (Algorithm 2 lines 6-12). ---
+  // Candidates matching the current bounds and resolution are removed and
+  // pruned again; Prune may insert them into the result set, re-park them
+  // for a finer resolution, or discard them.
+  for (size_t k = 1; k <= static_cast<size_t>(n); ++k) {
+    for (TableSet q : connected_by_size_[k]) {
+      std::vector<CellIndex::Entry> drained =
+          cand_.For(q).Drain(bounds, resolution);
+      if (drained.empty()) continue;
+      std::vector<BatchEntry> batch;
+      batch.reserve(drained.size());
+      for (const CellIndex::Entry& e : drained) {
+        counters_.OnCandidateRetrieved(e.id);
+        batch.push_back({e.id, e.cost, 0.0, e.order});
+      }
+      if (options_.sorted_pruning) SortBatch(batch);
+      for (const BatchEntry& e : batch) {
+        PrunePlan(q, e.id, e.cost, e.order, bounds, resolution);
+      }
+    }
+  }
+
+  // --- Phase 2: generate fresh plans (Algorithm 2 lines 13-22). ---
+  // Bottom-up over connected table sets of increasing cardinality; for
+  // each split into two combinable subsets, enumerate only sub-plan pairs
+  // with at least one Δ member and an unseen (left, right) combination.
+  std::vector<BatchEntry> batch;
+  for (size_t k = 2; k <= static_cast<size_t>(n); ++k) {
+    for (TableSet q : connected_by_size_[k]) {
+      batch.clear();
+      for (SubsetIter split(q); !split.Done(); split.Next()) {
+        const TableSet q1 = split.Subset();
+        const TableSet q2 = split.Complement();
+        if (!factory_.CanCombine(q1, q2)) continue;
+
+        std::vector<CellIndex::Collected> p1 =
+            res_.For(q1).Collect(bounds, resolution, invocation_);
+        if (p1.empty()) continue;
+        std::vector<CellIndex::Collected> p2 =
+            res_.For(q2).Collect(bounds, resolution, invocation_);
+        if (p2.empty()) continue;
+
+        // Enumerate ΔP1 × P2  ∪  (P1 \ ΔP1) × ΔP2 without touching
+        // non-Δ × non-Δ pairs (those were combined in prior invocations).
+        auto combine = [&](const CellIndex::Collected& a,
+                           const CellIndex::Collected& b) {
+          if (!fresh_.Mark(a.id, b.id)) {
+            ++counters_.pairs_rejected_stale;
+            return;
+          }
+          ++counters_.pairs_generated;
+          // Copy the nodes: the callback below appends to the arena,
+          // which may reallocate and invalidate references into it.
+          const PlanNode left = arena_.at(a.id);
+          const PlanNode right = arena_.at(b.id);
+          factory_.ForEachJoin(
+              left, right, [&](const OperatorDesc& op, const OpCost& oc) {
+                const PlanId id = arena_.AddJoin(
+                    q, a.id, b.id, op, oc.cost, oc.output_rows, oc.order);
+                ++counters_.plans_generated;
+                batch.push_back({id, oc.cost, 0.0, oc.order});
+              });
+        };
+
+        for (const CellIndex::Collected& a : p1) {
+          if (!a.delta) continue;
+          for (const CellIndex::Collected& b : p2) combine(a, b);
+        }
+        for (const CellIndex::Collected& b : p2) {
+          if (!b.delta) continue;
+          for (const CellIndex::Collected& a : p1) {
+            if (a.delta) continue;  // Δ × Δ already handled above.
+            combine(a, b);
+          }
+        }
+      }
+      // Prune this table set's freshly generated plans, cheapest first,
+      // before any superset of q consumes them.
+      if (options_.sorted_pruning) SortBatch(batch);
+      for (const BatchEntry& e : batch) {
+        PrunePlan(q, e.id, e.cost, e.order, bounds, resolution);
+      }
+    }
+  }
+}
+
+std::vector<CellIndex::Entry> IncrementalOptimizer::ResultPlans(
+    const CostVector& bounds, int resolution) const {
+  return ResultPlansFor(TableSet::Full(factory_.NumTables()), bounds,
+                        resolution);
+}
+
+std::vector<CellIndex::Entry> IncrementalOptimizer::ResultPlansFor(
+    TableSet q, const CostVector& bounds, int resolution) const {
+  std::vector<CellIndex::Entry> out;
+  res_.For(q).ForEachInRange(bounds, resolution,
+                             [&](const CellIndex::Entry& e) {
+                               out.push_back(e);
+                             });
+  return out;
+}
+
+}  // namespace moqo

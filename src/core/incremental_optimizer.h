@@ -1,0 +1,118 @@
+// The incremental multi-objective optimizer (paper §4.2, Algorithm 2).
+//
+// One IncrementalOptimizer instance holds all state for one query:
+//   * the plan arena (all plans ever generated, never discarded),
+//   * the result plan sets Res^q and candidate plan sets Cand^q, indexed
+//     by cost vector and resolution level (CellIndex),
+//   * the IsFresh pair registry.
+//
+// Each call to Optimize(bounds, resolution) performs one invocation of
+// procedure Optimize: phase 1 re-considers candidate plans that match the
+// current bounds/resolution; phase 2 generates fresh join plans bottom-up
+// over table subsets, combining only sub-plan pairs that were not combined
+// before. After the call, Res^q[0..b, 0..r] is an α_r^|q|-approximate
+// b-bounded Pareto plan set for every table subset q (Theorems 1 and 2).
+#ifndef MOQO_CORE_INCREMENTAL_OPTIMIZER_H_
+#define MOQO_CORE_INCREMENTAL_OPTIMIZER_H_
+
+#include <vector>
+
+#include "core/counters.h"
+#include "core/fresh.h"
+#include "core/resolution.h"
+#include "cost/cost_vector.h"
+#include "index/cell_index.h"
+#include "index/plan_set.h"
+#include "plan/arena.h"
+#include "plan/cost_model.h"
+
+namespace moqo {
+
+struct OptimizerOptions {
+  // Logarithmic cell width of the plan indexes.
+  double cell_gamma = 2.0;
+  // Track per-plan candidate retrieval counts (Lemma 7 assertions).
+  bool track_per_plan_counters = false;
+  // Ablation switch (§4.2 design decision): when true, the pruning
+  // dominance check consults result plans at ALL resolution levels
+  // instead of only levels <= the current one. This trades the
+  // per-invocation complexity guarantee for smaller result sets; the
+  // bench_prune_design binary quantifies the difference. Note that with
+  // this switch the intermediate-resolution guarantee (Theorem 2 for
+  // r < rM) no longer holds — only the final resolution's does.
+  bool prune_against_all_resolutions = false;
+  // Ablation switch: paper-literal candidate parking at resolution r+1
+  // instead of skip-ahead parking (see pruning.h). Skip-ahead avoids
+  // re-examining strictly dominated plans at every resolution level.
+  bool park_next_level_only = false;
+  // Prune plans within a batch (per table set and invocation phase) in
+  // ascending cost order. Because result plans are never discarded,
+  // arrival order determines how many redundant near-duplicates enter the
+  // result sets; sorted insertion keeps them close to minimal. The
+  // guarantees are order-independent, so this is purely a performance
+  // lever (ablated in bench_prune_design).
+  bool sorted_pruning = true;
+};
+
+class IncrementalOptimizer {
+ public:
+  // Seeds the scan plans for every query table and prunes them at
+  // resolution 0 under `initial_bounds` (Algorithm 1 lines 7-10). The
+  // factory must outlive the optimizer.
+  IncrementalOptimizer(const PlanFactory& factory,
+                       ResolutionSchedule schedule,
+                       const CostVector& initial_bounds,
+                       OptimizerOptions options = {});
+
+  IncrementalOptimizer(const IncrementalOptimizer&) = delete;
+  IncrementalOptimizer& operator=(const IncrementalOptimizer&) = delete;
+
+  // One invocation of procedure Optimize. `resolution` must be in
+  // [0, schedule.MaxResolution()].
+  void Optimize(const CostVector& bounds, int resolution);
+
+  // Res^Q[0..b, 0..r]: the completed result plans visualized after an
+  // invocation (Algorithm 1 line 16).
+  std::vector<CellIndex::Entry> ResultPlans(const CostVector& bounds,
+                                            int resolution) const;
+
+  // Res^q[0..b, 0..r] for an arbitrary table subset (tests, diagnostics).
+  std::vector<CellIndex::Entry> ResultPlansFor(TableSet q,
+                                               const CostVector& bounds,
+                                               int resolution) const;
+
+  const PlanFactory& factory() const { return factory_; }
+  const PlanArena& arena() const { return arena_; }
+  const ResolutionSchedule& schedule() const { return schedule_; }
+  const Counters& counters() const { return counters_; }
+  Counters& mutable_counters() { return counters_; }
+  uint32_t invocations_completed() const { return invocation_ - 1; }
+
+  // Total plans currently indexed (result + candidate), for space studies.
+  size_t NumResultEntries() const { return res_.TotalSize(); }
+  size_t NumCandidateEntries() const { return cand_.TotalSize(); }
+
+ private:
+  // Runs Prune for a plan of table set q.
+  void PrunePlan(TableSet q, uint32_t plan_id, const CostVector& cost,
+                 int order, const CostVector& bounds, int resolution);
+
+  const PlanFactory& factory_;
+  ResolutionSchedule schedule_;
+  OptimizerOptions options_;
+  PlanArena arena_;
+  PlanSetTable res_;
+  PlanSetTable cand_;
+  FreshPairRegistry fresh_;
+  Counters counters_;
+  // Invocation counter; the constructor's scan seeding belongs to
+  // invocation 1, which is also used by the first Optimize call.
+  uint32_t invocation_ = 1;
+  bool first_optimize_done_ = false;
+  // All connected table subsets, grouped by cardinality (precomputed).
+  std::vector<std::vector<TableSet>> connected_by_size_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_CORE_INCREMENTAL_OPTIMIZER_H_

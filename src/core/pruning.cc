@@ -1,0 +1,74 @@
+#include "core/pruning.h"
+
+#include <algorithm>
+
+#include "pareto/dominance.h"
+
+namespace moqo {
+
+PruneOutcome Prune(CellIndex& result_set, CellIndex& candidate_set,
+                   const CostVector& bounds, int resolution,
+                   int compare_resolution,
+                   const ResolutionSchedule& schedule, uint32_t plan_id,
+                   const CostVector& cost, int order, uint32_t invocation,
+                   bool park_next_level_only, Counters* counters) {
+  if (counters != nullptr) ++counters->prune_calls;
+  const int max_resolution = schedule.MaxResolution();
+  const double alpha_r = schedule.Alpha(resolution);
+
+  // ∃ pA ∈ Res[0..b, 0..r] : c(pA) ⪯ α_r · c(p)? Both conditions fold
+  // into a single range query with the component-wise minimum of the
+  // bounds and the scaled cost.
+  const CostVector approx_box = cost.Scaled(alpha_r).Min(bounds);
+  uint64_t* checks =
+      counters != nullptr ? &counters->dominance_checks : nullptr;
+  const CellIndex::Entry* dominator = result_set.FindInRange(
+      approx_box, compare_resolution, checks, /*required_order=*/order);
+  if (dominator != nullptr) {
+    // Approximated at the current resolution: keep as candidate for a
+    // finer resolution, or discard when no resolution can need it.
+    int park_level = -1;
+    if (park_next_level_only) {
+      // Paper-literal behavior: always park at r+1.
+      park_level = resolution < max_resolution ? resolution + 1 : -1;
+    } else {
+      // Skip-ahead: the plan stays covered while α_r' >= α*, where α* is
+      // the exact factor with which the found dominator covers it.
+      double alpha_star = 0.0;
+      for (int i = 0; i < cost.dims(); ++i) {
+        if (cost[i] > 0.0) {
+          alpha_star = std::max(alpha_star, dominator->cost[i] / cost[i]);
+        }
+        // cost[i] == 0 implies dominator->cost[i] == 0 (it passed the
+        // range query against α_r * 0): no constraint from this metric.
+      }
+      for (int level = resolution + 1; level <= max_resolution; ++level) {
+        if (schedule.Alpha(level) < alpha_star) {
+          park_level = level;
+          break;
+        }
+      }
+    }
+    if (park_level < 0) {
+      if (counters != nullptr) ++counters->plans_discarded;
+      return PruneOutcome::kDiscarded;
+    }
+    candidate_set.Insert(plan_id, cost, park_level, invocation, order);
+    if (counters != nullptr) ++counters->candidate_insertions;
+    return PruneOutcome::kParkedForHigherResolution;
+  }
+
+  if (!RespectsBounds(cost, bounds)) {
+    // Exceeds the bounds: may become relevant when the bounds change;
+    // keep as candidate at the current resolution.
+    candidate_set.Insert(plan_id, cost, resolution, invocation, order);
+    if (counters != nullptr) ++counters->candidate_insertions;
+    return PruneOutcome::kParkedForDifferentBounds;
+  }
+
+  result_set.Insert(plan_id, cost, resolution, invocation, order);
+  if (counters != nullptr) ++counters->result_insertions;
+  return PruneOutcome::kInsertedResult;
+}
+
+}  // namespace moqo

@@ -1,0 +1,46 @@
+#include "cost/aggregation.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+
+namespace moqo {
+
+double Aggregate(const AggregationTerm& term, double left, double right) {
+  const double l = term.scale_left * left;
+  const double r = term.scale_right * right;
+  double combined = 0.0;
+  switch (term.combine) {
+    case CombineKind::kSum:
+      combined = l + r;
+      break;
+    case CombineKind::kMax:
+      combined = std::max(l, r);
+      break;
+    case CombineKind::kMin:
+      combined = std::min(l, r);
+      break;
+  }
+  return term.op_cost + combined;
+}
+
+bool IsPonoCompliant(const AggregationTerm& term) {
+  return term.op_cost >= 0.0 && term.scale_left >= 0.0 &&
+         term.scale_right >= 0.0;
+}
+
+bool IsMonotone(const AggregationTerm& term, double left, double right) {
+  if (term.combine == CombineKind::kMin) {
+    // Min-aggregation is monotone only together with a sufficiently large
+    // operator term; callers must check the aggregate explicitly.
+    const double agg = Aggregate(term, left, right);
+    return agg >= left && agg >= right;
+  }
+  if (term.scale_left < 1.0 || term.scale_right < 1.0) {
+    const double agg = Aggregate(term, left, right);
+    return agg >= left && agg >= right;
+  }
+  return true;
+}
+
+}  // namespace moqo

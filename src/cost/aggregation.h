@@ -1,0 +1,42 @@
+// PONO-compliant cost aggregation building blocks.
+//
+// The Principle of Near-Optimality (paper §5.1, Definition 1) holds for
+// every cost metric whose aggregation function — the recursive function
+// computing a plan's cost from its two sub-plans' costs — is built from
+// sum, maximum, minimum, and multiplication by constants. An
+// AggregationTerm captures exactly this shape:
+//
+//   agg(l, r) = op_cost + combine(scale_left * l, scale_right * r)
+//
+// with combine ∈ {sum, max, min}, op_cost >= 0, scales >= 0. The cost model
+// in src/plan/cost_model.cc expresses every metric with such terms, and the
+// property tests verify both the PONO and monotone aggregation directly
+// against this interface.
+#ifndef MOQO_COST_AGGREGATION_H_
+#define MOQO_COST_AGGREGATION_H_
+
+#include "cost/metric.h"
+
+namespace moqo {
+
+struct AggregationTerm {
+  CombineKind combine = CombineKind::kSum;
+  double scale_left = 1.0;
+  double scale_right = 1.0;
+  double op_cost = 0.0;
+};
+
+// Applies the term to the two sub-plan cost values.
+double Aggregate(const AggregationTerm& term, double left, double right);
+
+// True iff the term parameters satisfy the PONO preconditions
+// (non-negative operator cost and scales).
+bool IsPonoCompliant(const AggregationTerm& term);
+
+// Checks monotone cost aggregation (paper §5.1): the aggregated value must
+// be >= each (unscaled) input when scales are >= 1. Used by tests.
+bool IsMonotone(const AggregationTerm& term, double left, double right);
+
+}  // namespace moqo
+
+#endif  // MOQO_COST_AGGREGATION_H_

@@ -1,0 +1,71 @@
+#include "cost/metric.h"
+
+#include "util/common.h"
+
+namespace moqo {
+namespace {
+
+constexpr MetricInfo kMetricInfos[] = {
+    {MetricId::kTime, "time", "ms", CombineKind::kSum},
+    {MetricId::kCores, "cores", "cores", CombineKind::kMax},
+    {MetricId::kPrecisionError, "precision_error", "", CombineKind::kMax},
+    {MetricId::kFees, "fees", "cents", CombineKind::kSum},
+    {MetricId::kEnergy, "energy", "J", CombineKind::kSum},
+    {MetricId::kIo, "io", "pages", CombineKind::kSum},
+};
+
+}  // namespace
+
+const MetricInfo& GetMetricInfo(MetricId id) {
+  const int idx = static_cast<int>(id);
+  MOQO_CHECK(idx >= 0 && idx < static_cast<int>(std::size(kMetricInfos)));
+  return kMetricInfos[idx];
+}
+
+MetricSchema::MetricSchema(std::vector<MetricId> metrics)
+    : metrics_(std::move(metrics)) {
+  MOQO_CHECK(static_cast<int>(metrics_.size()) <= kMaxMetrics);
+}
+
+MetricSchema MetricSchema::Standard3() {
+  return MetricSchema(
+      {MetricId::kTime, MetricId::kCores, MetricId::kPrecisionError});
+}
+
+MetricSchema MetricSchema::Cloud2() {
+  return MetricSchema({MetricId::kTime, MetricId::kFees});
+}
+
+MetricSchema MetricSchema::Approx2() {
+  return MetricSchema({MetricId::kTime, MetricId::kPrecisionError});
+}
+
+MetricSchema MetricSchema::Full6() {
+  return MetricSchema({MetricId::kTime, MetricId::kCores,
+                       MetricId::kPrecisionError, MetricId::kFees,
+                       MetricId::kEnergy, MetricId::kIo});
+}
+
+int MetricSchema::IndexOf(MetricId id) const {
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    if (metrics_[i] == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string MetricSchema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    if (i > 0) out += ", ";
+    const MetricInfo& info = GetMetricInfo(metrics_[i]);
+    out += info.name;
+    if (info.unit[0] != '\0') {
+      out += "(";
+      out += info.unit;
+      out += ")";
+    }
+  }
+  return out;
+}
+
+}  // namespace moqo

@@ -1,0 +1,82 @@
+// Cost metric descriptors and metric schemas.
+//
+// A MetricSchema fixes the ordered list of cost metrics a query plan is
+// judged by. The paper's evaluation uses three metrics (execution time,
+// number of reserved cores, result precision); §3 lists further metrics in
+// the supported class (monetary fees, energy, IO bandwidth). All metrics
+// are formulated so that lower is better (result precision is expressed as
+// "precision error" in [0, 1]).
+#ifndef MOQO_COST_METRIC_H_
+#define MOQO_COST_METRIC_H_
+
+#include <string>
+#include <vector>
+
+#include "cost/cost_vector.h"
+
+namespace moqo {
+
+// The metrics implemented by the cost model in src/plan/cost_model.cc.
+enum class MetricId {
+  kTime = 0,        // Estimated execution time (ms).
+  kCores = 1,       // Peak number of reserved cores.
+  kPrecisionError = 2,  // 1 - result precision; 0 = exact answer.
+  kFees = 3,        // Monetary execution fees (cents), cloud scenario.
+  kEnergy = 4,      // Energy consumption (joules).
+  kIo = 5,          // IO volume (pages read).
+};
+
+// How a metric combines across the two sub-plans of a join, before the
+// join operator's own contribution is added. The PONO (paper §5.1) holds
+// for cost metrics whose aggregation function is built from sum, max, min,
+// and multiplication by constants; these three cases plus a non-negative
+// operator term cover every metric we implement.
+enum class CombineKind {
+  kSum,  // e.g. time (sequential), fees, energy, IO
+  kMax,  // e.g. reserved cores (peak over pipeline), parallel time
+  kMin,  // available for metrics like achievable precision
+};
+
+struct MetricInfo {
+  MetricId id;
+  const char* name;
+  const char* unit;
+  CombineKind combine;
+};
+
+// Static descriptor lookup for a metric.
+const MetricInfo& GetMetricInfo(MetricId id);
+
+// An ordered list of metrics; positions define CostVector components.
+class MetricSchema {
+ public:
+  MetricSchema() = default;
+  explicit MetricSchema(std::vector<MetricId> metrics);
+
+  // The paper's evaluation schema: {time, cores, precision error}.
+  static MetricSchema Standard3();
+  // Cloud scenario from Example 1: {time, fees}.
+  static MetricSchema Cloud2();
+  // Approximate-processing scenario from Example 2: {time, precision error}.
+  static MetricSchema Approx2();
+  // All six implemented metrics.
+  static MetricSchema Full6();
+
+  int dims() const { return static_cast<int>(metrics_.size()); }
+  MetricId metric(int i) const { return metrics_[static_cast<size_t>(i)]; }
+  const std::vector<MetricId>& metrics() const { return metrics_; }
+
+  // Position of `id` in the schema, or -1 if absent.
+  int IndexOf(MetricId id) const;
+  bool Has(MetricId id) const { return IndexOf(id) >= 0; }
+
+  // "time(ms), cores, precision_error" header rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<MetricId> metrics_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_COST_METRIC_H_

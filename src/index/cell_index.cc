@@ -1,0 +1,190 @@
+#include "index/cell_index.h"
+
+#include <algorithm>
+
+namespace moqo {
+namespace {
+
+// Bias added to bucket values so they pack into unsigned bytes.
+constexpr int kBucketBias = 128;
+constexpr int kMinBucket = -128;  // Values <= 0 (e.g. zero error).
+constexpr int kMaxBucket = 127;   // +infinity bounds.
+
+}  // namespace
+
+CellIndex::CellIndex(int dims, double gamma) : dims_(dims) {
+  MOQO_CHECK(dims >= 1 && dims <= kMaxMetrics);
+  MOQO_CHECK(gamma > 1.0);
+  inv_log_gamma_ = 1.0 / std::log(gamma);
+}
+
+int CellIndex::Bucket(double value) const {
+  if (value <= 0.0) return kMinBucket;
+  if (std::isinf(value)) return kMaxBucket;
+  const double b = std::floor(std::log(value) * inv_log_gamma_);
+  if (b <= kMinBucket + 1) return kMinBucket + 1;
+  if (b >= kMaxBucket - 1) return kMaxBucket - 1;
+  return static_cast<int>(b);
+}
+
+CellIndex::Key CellIndex::MakeKey(const CostVector& cost, int resolution,
+                                  int order) const {
+  MOQO_CHECK(cost.dims() == dims_);
+  MOQO_CHECK(resolution >= 0 && resolution <= 255);
+  MOQO_CHECK(order >= 0 && order <= 255);
+  Key key = (static_cast<Key>(resolution) << 56) |
+            (static_cast<Key>(order) << 48);
+  for (int i = 0; i < dims_; ++i) {
+    const unsigned byte =
+        static_cast<unsigned>(Bucket(cost[i]) + kBucketBias);
+    key |= static_cast<Key>(byte & 0xFFu) << (8 * i);
+  }
+  return key;
+}
+
+CellIndex::Key CellIndex::BoundKey(const CostVector& bounds,
+                                   int max_res) const {
+  return MakeKey(bounds, std::min(max_res, 255), /*order=*/0);
+}
+
+CellIndex::CellRelation CellIndex::Classify(Key cell, Key bound,
+                                            int required_order) const {
+  // Resolution byte: inclusive upper bound, no per-entry re-check needed
+  // (all entries in a cell share the cell's resolution).
+  const unsigned cell_res = static_cast<unsigned>(cell >> 56);
+  const unsigned bound_res = static_cast<unsigned>(bound >> 56);
+  if (cell_res > bound_res) return CellRelation::kOutside;
+  if (required_order != kAnyOrder) {
+    const unsigned cell_order = static_cast<unsigned>(cell >> 48) & 0xFFu;
+    if (cell_order != static_cast<unsigned>(required_order)) {
+      return CellRelation::kOutside;
+    }
+  }
+  bool inside = true;
+  for (int i = 0; i < dims_; ++i) {
+    const unsigned cb = static_cast<unsigned>(cell >> (8 * i)) & 0xFFu;
+    const unsigned bb = static_cast<unsigned>(bound >> (8 * i)) & 0xFFu;
+    if (cb > bb) return CellRelation::kOutside;
+    if (cb == bb) inside = false;  // Boundary cell: filter per entry.
+  }
+  return inside ? CellRelation::kInside : CellRelation::kBoundary;
+}
+
+bool CellIndex::InRange(const Entry& e, const CostVector& bounds,
+                        int max_res) const {
+  if (e.resolution > max_res) return false;
+  return e.cost.Dominates(bounds);
+}
+
+void CellIndex::Insert(uint32_t id, const CostVector& cost, int resolution,
+                       uint32_t invocation, int order) {
+  MOQO_CHECK(cost.IsFinite());
+  MOQO_CHECK(cost.IsNonNegative());
+  Entry e;
+  e.id = id;
+  e.last_visible = invocation;
+  e.cost = cost;
+  e.resolution = static_cast<uint8_t>(resolution);
+  e.order = static_cast<uint8_t>(order);
+  e.delta = true;
+  cells_[MakeKey(cost, resolution, order)].push_back(e);
+  ++size_;
+}
+
+bool CellIndex::AnyInRange(const CostVector& bounds, int max_res,
+                           uint64_t* checked, int required_order) const {
+  return FindInRange(bounds, max_res, checked, required_order) != nullptr;
+}
+
+const CellIndex::Entry* CellIndex::FindInRange(const CostVector& bounds,
+                                               int max_res,
+                                               uint64_t* checked,
+                                               int required_order) const {
+  const Key bound_key = BoundKey(bounds, max_res);
+  for (const auto& [key, cell] : cells_) {
+    const CellRelation rel = Classify(key, bound_key, required_order);
+    if (rel == CellRelation::kOutside) continue;
+    if (rel == CellRelation::kInside) {
+      if (!cell.empty()) return &cell.front();
+      continue;
+    }
+    for (const Entry& e : cell) {
+      if (checked != nullptr) ++*checked;
+      if (InRange(e, bounds, max_res)) return &e;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<CellIndex::Collected> CellIndex::Collect(const CostVector& bounds,
+                                                     int max_res,
+                                                     uint32_t invocation) {
+  std::vector<Collected> out;
+  const Key bound_key = BoundKey(bounds, max_res);
+  for (auto& [key, cell] : cells_) {
+    const CellRelation rel = Classify(key, bound_key, kAnyOrder);
+    if (rel == CellRelation::kOutside) continue;
+    for (Entry& e : cell) {
+      if (rel != CellRelation::kInside && !InRange(e, bounds, max_res)) {
+        continue;
+      }
+      bool delta;
+      if (e.last_visible == invocation) {
+        // Already classified earlier in this invocation (the same set can
+        // be collected for several splits); keep the classification.
+        delta = e.delta;
+      } else {
+        // Δ iff the entry was not visible in the previous invocation; in
+        // that case its pairings may be missing and must be (re)tried.
+        delta = e.last_visible + 1 != invocation;
+        e.last_visible = invocation;
+        e.delta = delta;
+      }
+      out.push_back({e.id, e.cost, delta});
+    }
+  }
+  return out;
+}
+
+std::vector<CellIndex::Entry> CellIndex::Drain(const CostVector& bounds,
+                                               int max_res) {
+  std::vector<Entry> removed;
+  const Key bound_key = BoundKey(bounds, max_res);
+  for (auto it = cells_.begin(); it != cells_.end();) {
+    const CellRelation rel = Classify(it->first, bound_key, kAnyOrder);
+    if (rel == CellRelation::kOutside) {
+      ++it;
+      continue;
+    }
+    std::vector<Entry>& cell = it->second;
+    if (rel == CellRelation::kInside) {
+      removed.insert(removed.end(), cell.begin(), cell.end());
+      size_ -= cell.size();
+      it = cells_.erase(it);
+      continue;
+    }
+    for (size_t i = 0; i < cell.size();) {
+      if (InRange(cell[i], bounds, max_res)) {
+        removed.push_back(cell[i]);
+        cell[i] = cell.back();
+        cell.pop_back();
+        --size_;
+      } else {
+        ++i;
+      }
+    }
+    if (cell.empty()) {
+      it = cells_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void CellIndex::Clear() {
+  cells_.clear();
+  size_ = 0;
+}
+
+}  // namespace moqo

@@ -1,0 +1,139 @@
+// CellIndex: multidimensional range-queryable plan index.
+//
+// The paper indexes result and candidate plans by cost vector and by
+// resolution level and retrieves them with range queries of the form
+// S[0..b, 0..r] (§4.1). Following the paper's §5.3 and footnote 3, we use a
+// cell structure in the spirit of Bentley & Friedman [3] with logarithmic
+// partitioning of the cost space: each plan lives in the cell identified by
+// (resolution level, ⌊log_γ cost_i⌋ for each metric i). Cells are kept in a
+// hash map, so insertion is O(1); a range query walks the occupied cells,
+// skips cells entirely outside the query box via integer comparisons on
+// the cell key, takes cells strictly inside wholesale, and filters entries
+// only in boundary cells.
+//
+// The index additionally maintains per-entry *visibility stamps* used by
+// the optimizer's Δ-set logic (paper §4.2, function Fresh): Collect()
+// marks every retrieved entry with the current invocation number and
+// reports whether the entry was already visible in the immediately
+// preceding invocation. Entries that were not are exactly the Δ-set
+// members that still need to be combined with their peers.
+#ifndef MOQO_INDEX_CELL_INDEX_H_
+#define MOQO_INDEX_CELL_INDEX_H_
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cost/cost_vector.h"
+#include "util/common.h"
+
+namespace moqo {
+
+// Wildcard for the `required_order` parameter of range queries: match
+// entries with any interesting-order tag.
+inline constexpr int kAnyOrder = -1;
+
+class CellIndex {
+ public:
+  struct Entry {
+    uint32_t id = 0;             // Caller-defined payload (PlanId).
+    uint32_t last_visible = 0;   // Last invocation that collected this entry.
+    CostVector cost;
+    uint8_t resolution = 0;
+    uint8_t order = 0;           // Interesting-order tag (0 = unordered).
+    bool delta = true;           // Entry classification in `last_visible`.
+  };
+
+  // A retrieved entry together with its Δ classification for the current
+  // invocation.
+  struct Collected {
+    uint32_t id = 0;
+    CostVector cost;
+    bool delta = true;
+  };
+
+  // `dims` is the number of cost metrics; `gamma` the logarithmic cell
+  // width (costs c and c' share a dimension bucket iff
+  // ⌊log_γ c⌋ = ⌊log_γ c'⌋).
+  explicit CellIndex(int dims, double gamma = 2.0);
+
+  // Inserts an entry; `invocation` stamps it as first visible (and Δ) in
+  // the given optimizer invocation. `order` tags the plan's interesting
+  // tuple order (0 = none); the order participates in the cell key so
+  // order-restricted dominance queries skip whole cells.
+  void Insert(uint32_t id, const CostVector& cost, int resolution,
+              uint32_t invocation, int order = 0);
+
+  // Visits every entry with resolution <= max_res and cost ⪯ bounds.
+  // Does not touch visibility stamps.
+  template <typename F>
+  void ForEachInRange(const CostVector& bounds, int max_res, F&& fn) const {
+    const Key bound_key = BoundKey(bounds, max_res);
+    for (const auto& [key, cell] : cells_) {
+      const CellRelation rel = Classify(key, bound_key, kAnyOrder);
+      if (rel == CellRelation::kOutside) continue;
+      for (const Entry& e : cell) {
+        if (rel == CellRelation::kInside || InRange(e, bounds, max_res)) {
+          fn(e);
+        }
+      }
+    }
+  }
+
+  // True if some entry with resolution <= max_res and a matching order
+  // tag (kAnyOrder = all) has cost ⪯ bounds. If `checked` is non-null,
+  // the number of per-entry dominance checks performed is added to it
+  // (instrumentation for Prune).
+  bool AnyInRange(const CostVector& bounds, int max_res,
+                  uint64_t* checked = nullptr,
+                  int required_order = kAnyOrder) const;
+
+  // Returns some entry with resolution <= max_res, matching order tag,
+  // and cost ⪯ bounds, or nullptr. The pointer is invalidated by the
+  // next mutating call.
+  const Entry* FindInRange(const CostVector& bounds, int max_res,
+                           uint64_t* checked = nullptr,
+                           int required_order = kAnyOrder) const;
+
+  // Retrieves all entries in range for optimizer invocation `invocation`,
+  // updating visibility stamps: an entry's Δ flag is true iff it was not
+  // visible during invocation-1 (or was inserted/classified Δ earlier in
+  // the current invocation).
+  std::vector<Collected> Collect(const CostVector& bounds, int max_res,
+                                 uint32_t invocation);
+
+  // Removes and returns all entries with resolution <= max_res and
+  // cost ⪯ bounds. (Used to re-consider candidate plans: Algorithm 2
+  // lines 8-9 retrieve and delete candidates before pruning them again.)
+  std::vector<Entry> Drain(const CostVector& bounds, int max_res);
+
+  size_t size() const { return size_; }
+  size_t NumCells() const { return cells_.size(); }
+  void Clear();
+
+ private:
+  // Packed cell key: byte 7 = resolution, byte 6 = interesting-order tag,
+  // bytes 0..5 = biased per-dimension log buckets. Comparisons are
+  // per-byte.
+  using Key = uint64_t;
+
+  enum class CellRelation { kOutside, kBoundary, kInside };
+
+  int Bucket(double value) const;
+  Key MakeKey(const CostVector& cost, int resolution, int order) const;
+  Key BoundKey(const CostVector& bounds, int max_res) const;
+  // Classifies a cell against the query box described by `bound_key` and
+  // the order requirement.
+  CellRelation Classify(Key cell, Key bound, int required_order) const;
+  bool InRange(const Entry& e, const CostVector& bounds, int max_res) const;
+
+  int dims_;
+  double inv_log_gamma_;
+  size_t size_ = 0;
+  std::unordered_map<Key, std::vector<Entry>> cells_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_INDEX_CELL_INDEX_H_

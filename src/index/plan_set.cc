@@ -1,0 +1,33 @@
+#include "index/plan_set.h"
+
+namespace moqo {
+
+PlanSetTable::PlanSetTable(int num_tables, int dims, double gamma)
+    : num_tables_(num_tables), dims_(dims), gamma_(gamma) {
+  MOQO_CHECK(num_tables >= 1 && num_tables <= kMaxTables);
+  sets_.resize(size_t{1} << num_tables);
+}
+
+CellIndex& PlanSetTable::For(TableSet q) {
+  MOQO_CHECK(q.mask() < sets_.size());
+  std::unique_ptr<CellIndex>& slot = sets_[q.mask()];
+  if (slot == nullptr) slot = std::make_unique<CellIndex>(dims_, gamma_);
+  return *slot;
+}
+
+const CellIndex& PlanSetTable::For(TableSet q) const {
+  MOQO_CHECK(q.mask() < sets_.size());
+  std::unique_ptr<CellIndex>& slot = sets_[q.mask()];
+  if (slot == nullptr) slot = std::make_unique<CellIndex>(dims_, gamma_);
+  return *slot;
+}
+
+size_t PlanSetTable::TotalSize() const {
+  size_t total = 0;
+  for (const auto& set : sets_) {
+    if (set != nullptr) total += set->size();
+  }
+  return total;
+}
+
+}  // namespace moqo

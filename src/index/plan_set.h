@@ -1,0 +1,40 @@
+// PlanSetTable: the per-table-set indexed plan sets Res^q / Cand^q.
+//
+// The optimizer keeps one indexed plan set per table subset q ⊆ Q, for both
+// result plans and candidate plans (paper §4.1). Sets are stored densely by
+// bitmask and created lazily on first touch.
+#ifndef MOQO_INDEX_PLAN_SET_H_
+#define MOQO_INDEX_PLAN_SET_H_
+
+#include <memory>
+#include <vector>
+
+#include "index/cell_index.h"
+#include "util/table_set.h"
+
+namespace moqo {
+
+class PlanSetTable {
+ public:
+  // `num_tables` tables in the query, `dims` cost metrics.
+  PlanSetTable(int num_tables, int dims, double gamma = 2.0);
+
+  CellIndex& For(TableSet q);
+  const CellIndex& For(TableSet q) const;
+
+  // Total number of indexed plans across all table sets.
+  size_t TotalSize() const;
+
+  int num_tables() const { return num_tables_; }
+
+ private:
+  int num_tables_;
+  int dims_;
+  double gamma_;
+  // Index 0 (empty set) is unused but kept for direct mask addressing.
+  mutable std::vector<std::unique_ptr<CellIndex>> sets_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_INDEX_PLAN_SET_H_

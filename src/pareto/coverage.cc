@@ -1,0 +1,31 @@
+#include "pareto/coverage.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "pareto/dominance.h"
+
+namespace moqo {
+
+CoverageReport CheckCoverage(const std::vector<CostVector>& result,
+                             const std::vector<CostVector>& reference,
+                             double alpha, const CostVector& bounds) {
+  CoverageReport report;
+  for (const CostVector& ref : reference) {
+    if (!RespectsBounds(ref.Scaled(alpha), bounds)) continue;
+    ++report.required;
+    double best = std::numeric_limits<double>::infinity();
+    for (const CostVector& res : result) {
+      best = std::min(best, CoverFactor(res, ref));
+      if (best <= 1.0) break;
+    }
+    if (best > alpha) {
+      report.covered = false;
+      ++report.violations;
+    }
+    report.worst_factor = std::max(report.worst_factor, best);
+  }
+  return report;
+}
+
+}  // namespace moqo

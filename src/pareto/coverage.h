@@ -1,0 +1,37 @@
+// Coverage checks: do a set of cost vectors form an α-approximate
+// (b-bounded) Pareto plan set with respect to a reference plan space?
+//
+// Directly encodes the definitions of paper §3 and the statements of
+// Theorems 1/2; used by correctness tests and by EXPERIMENTS.md metrics.
+#ifndef MOQO_PARETO_COVERAGE_H_
+#define MOQO_PARETO_COVERAGE_H_
+
+#include <vector>
+
+#include "cost/cost_vector.h"
+
+namespace moqo {
+
+struct CoverageReport {
+  // True iff every reference vector within the (scaled) bounds is covered.
+  bool covered = true;
+  // The worst (largest) factor actually needed to cover any in-bounds
+  // reference vector; 1.0 means the result set contains a dominating
+  // vector for every reference. Only meaningful if finite.
+  double worst_factor = 1.0;
+  // Number of reference vectors that had to be covered.
+  int required = 0;
+  // Number of those that were not covered within `alpha`.
+  int violations = 0;
+};
+
+// Checks the α-approximate b-bounded Pareto set condition: for each
+// reference cost c with alpha * c ⪯ bounds there must be a result cost c*
+// with c* ⪯ alpha * c. Pass CostVector::Infinite for unbounded checks.
+CoverageReport CheckCoverage(const std::vector<CostVector>& result,
+                             const std::vector<CostVector>& reference,
+                             double alpha, const CostVector& bounds);
+
+}  // namespace moqo
+
+#endif  // MOQO_PARETO_COVERAGE_H_

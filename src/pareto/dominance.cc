@@ -1,0 +1,37 @@
+#include "pareto/dominance.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/common.h"
+
+namespace moqo {
+
+bool ApproxDominates(const CostVector& a, const CostVector& b, double alpha) {
+  MOQO_CHECK(a.dims() == b.dims());
+  for (int i = 0; i < a.dims(); ++i) {
+    if (a[i] > alpha * b[i]) return false;
+  }
+  return true;
+}
+
+bool RespectsBounds(const CostVector& cost, const CostVector& bounds) {
+  MOQO_CHECK(cost.dims() == bounds.dims());
+  for (int i = 0; i < cost.dims(); ++i) {
+    if (cost[i] > bounds[i]) return false;
+  }
+  return true;
+}
+
+double CoverFactor(const CostVector& a, const CostVector& b) {
+  MOQO_CHECK(a.dims() == b.dims());
+  double factor = 1.0;
+  for (int i = 0; i < a.dims(); ++i) {
+    if (a[i] <= b[i]) continue;
+    if (b[i] <= 0.0) return std::numeric_limits<double>::infinity();
+    factor = std::max(factor, a[i] / b[i]);
+  }
+  return factor;
+}
+
+}  // namespace moqo

@@ -1,0 +1,36 @@
+#include "plan/arena.h"
+
+namespace moqo {
+
+PlanId PlanArena::AddScan(TableSet tables, OperatorDesc op,
+                          const CostVector& cost,
+                          double output_cardinality, uint8_t order) {
+  MOQO_CHECK(op.is_scan);
+  PlanNode node;
+  node.tables = tables;
+  node.op = op;
+  node.cost = cost;
+  node.output_cardinality = output_cardinality;
+  node.order = order;
+  nodes_.push_back(node);
+  return static_cast<PlanId>(nodes_.size() - 1);
+}
+
+PlanId PlanArena::AddJoin(TableSet tables, PlanId left, PlanId right,
+                          OperatorDesc op, const CostVector& cost,
+                          double output_cardinality, uint8_t order) {
+  MOQO_CHECK(!op.is_scan);
+  MOQO_CHECK(left < nodes_.size() && right < nodes_.size());
+  PlanNode node;
+  node.tables = tables;
+  node.left = left;
+  node.right = right;
+  node.op = op;
+  node.cost = cost;
+  node.output_cardinality = output_cardinality;
+  node.order = order;
+  nodes_.push_back(node);
+  return static_cast<PlanId>(nodes_.size() - 1);
+}
+
+}  // namespace moqo

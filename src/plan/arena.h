@@ -1,0 +1,42 @@
+// PlanArena: append-only owner of all plans generated for one query.
+//
+// Plans are never destroyed individually (the paper deliberately never
+// discards result plans, §4.2); the arena grows monotonically across
+// optimizer invocations and is released wholesale when the session ends.
+#ifndef MOQO_PLAN_ARENA_H_
+#define MOQO_PLAN_ARENA_H_
+
+#include <vector>
+
+#include "plan/plan.h"
+#include "util/common.h"
+
+namespace moqo {
+
+class PlanArena {
+ public:
+  PlanArena() = default;
+  PlanArena(const PlanArena&) = delete;
+  PlanArena& operator=(const PlanArena&) = delete;
+  PlanArena(PlanArena&&) = default;
+  PlanArena& operator=(PlanArena&&) = default;
+
+  PlanId AddScan(TableSet tables, OperatorDesc op, const CostVector& cost,
+                 double output_cardinality, uint8_t order = 0);
+  PlanId AddJoin(TableSet tables, PlanId left, PlanId right, OperatorDesc op,
+                 const CostVector& cost, double output_cardinality,
+                 uint8_t order = 0);
+
+  const PlanNode& at(PlanId id) const {
+    MOQO_CHECK(id < nodes_.size());
+    return nodes_[id];
+  }
+  size_t size() const { return nodes_.size(); }
+
+ private:
+  std::vector<PlanNode> nodes_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_PLAN_ARENA_H_

@@ -1,0 +1,43 @@
+// Query plan representation.
+//
+// A plan either scans a single table or joins the results of two sub-plans
+// (paper §3). Plans are immutable records identified by PlanId and owned by
+// a PlanArena; a join plan stores only the ids of its sub-plans plus its
+// operator, so each plan takes O(1) space (paper §5.2). The cost vector and
+// the effective output cardinality are cached at construction.
+#ifndef MOQO_PLAN_PLAN_H_
+#define MOQO_PLAN_PLAN_H_
+
+#include <cstdint>
+
+#include "cost/cost_vector.h"
+#include "plan/operators.h"
+#include "util/table_set.h"
+
+namespace moqo {
+
+using PlanId = uint32_t;
+inline constexpr PlanId kInvalidPlan = static_cast<PlanId>(-1);
+
+struct PlanNode {
+  // Tables joined by this (partial) plan.
+  TableSet tables;
+  // Sub-plans; kInvalidPlan for scan plans.
+  PlanId left = kInvalidPlan;
+  PlanId right = kInvalidPlan;
+  // Physical operator: scan variant for leaves, join variant otherwise.
+  OperatorDesc op;
+  // Cached multi-objective cost (dimensions follow the session's schema).
+  CostVector cost;
+  // Estimated output cardinality, after predicates and sampling.
+  double output_cardinality = 0.0;
+  // Interesting tuple order produced by this plan (paper §4.3): 0 = no
+  // particular order; k > 0 = sorted on the key of join predicate k-1.
+  uint8_t order = 0;
+
+  bool IsScan() const { return left == kInvalidPlan; }
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_PLAN_PLAN_H_

@@ -1,0 +1,67 @@
+#include "plan/plan_printer.h"
+
+#include "util/str.h"
+
+namespace moqo {
+namespace {
+
+std::string RefName(const Query& query, TableSet tables) {
+  const int t = tables.Lowest();
+  const TableRef& ref = query.tables[static_cast<size_t>(t)];
+  return ref.alias.empty() ? StrFormat("t%d", t) : ref.alias;
+}
+
+void AppendPlan(const PlanArena& arena, PlanId id, const Query& query,
+                std::string* out) {
+  const PlanNode& node = arena.at(id);
+  if (node.IsScan()) {
+    *out += node.op.ToString();
+    *out += "(";
+    *out += RefName(query, node.tables);
+    *out += ")";
+    return;
+  }
+  *out += node.op.ToString();
+  *out += "(";
+  AppendPlan(arena, node.left, query, out);
+  *out += ", ";
+  AppendPlan(arena, node.right, query, out);
+  *out += ")";
+}
+
+void AppendTree(const PlanArena& arena, PlanId id, const Query& query,
+                int depth, std::string* out) {
+  const PlanNode& node = arena.at(id);
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += node.op.ToString();
+  if (node.IsScan()) {
+    *out += "(";
+    *out += RefName(query, node.tables);
+    *out += ")";
+  }
+  *out += StrFormat("  rows=%.3g cost=", node.output_cardinality);
+  *out += node.cost.ToString();
+  *out += "\n";
+  if (!node.IsScan()) {
+    AppendTree(arena, node.left, query, depth + 1, out);
+    AppendTree(arena, node.right, query, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string PlanToString(const PlanArena& arena, PlanId id,
+                         const Query& query) {
+  std::string out;
+  AppendPlan(arena, id, query, &out);
+  return out;
+}
+
+std::string PlanToTreeString(const PlanArena& arena, PlanId id,
+                             const Query& query) {
+  std::string out;
+  AppendTree(arena, id, query, 0, &out);
+  return out;
+}
+
+}  // namespace moqo

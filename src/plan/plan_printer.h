@@ -1,0 +1,23 @@
+// Human-readable rendering of query plans.
+#ifndef MOQO_PLAN_PLAN_PRINTER_H_
+#define MOQO_PLAN_PLAN_PRINTER_H_
+
+#include <string>
+
+#include "plan/arena.h"
+#include "query/query.h"
+
+namespace moqo {
+
+// One-line rendering, e.g.
+//   "HashJoin[w=4](SeqScan(orders), IndexScan(customer))".
+std::string PlanToString(const PlanArena& arena, PlanId id,
+                         const Query& query);
+
+// Indented multi-line rendering with per-node cost vectors.
+std::string PlanToTreeString(const PlanArena& arena, PlanId id,
+                             const Query& query);
+
+}  // namespace moqo
+
+#endif  // MOQO_PLAN_PLAN_PRINTER_H_

@@ -1,0 +1,89 @@
+#include "query/generator.h"
+
+#include <cmath>
+
+#include "util/common.h"
+#include "util/str.h"
+
+namespace moqo {
+namespace {
+
+double LogUniform(Rng& rng, double lo, double hi) {
+  MOQO_CHECK(lo > 0.0 && hi >= lo);
+  const double u = rng.UniformDouble(std::log(lo), std::log(hi));
+  return std::exp(u);
+}
+
+}  // namespace
+
+Query RandomQuery(Rng& rng, const GeneratorOptions& options,
+                  Catalog* catalog) {
+  MOQO_CHECK(catalog != nullptr);
+  const int n = options.num_tables;
+  MOQO_CHECK(n >= 1 && n <= kMaxTables);
+
+  QueryBuilder builder(StrFormat("rand%d", n));
+  std::vector<int> refs;
+  std::vector<double> cards;
+  for (int i = 0; i < n; ++i) {
+    TableDef def;
+    def.name = StrFormat("t%d_%u", i, static_cast<unsigned>(rng.Uniform(1u << 30)));
+    def.cardinality = std::floor(
+        LogUniform(rng, options.min_cardinality, options.max_cardinality));
+    def.row_bytes = rng.UniformDouble(50.0, 300.0);
+    def.has_index = rng.Bernoulli(0.8);
+    const TableId id = catalog->AddTable(def);
+    double pred = 1.0;
+    if (rng.Bernoulli(options.predicate_probability)) {
+      pred = LogUniform(rng, 0.001, 1.0);
+    }
+    refs.push_back(builder.AddTable(id, pred, StrFormat("t%d", i)));
+    cards.push_back(def.cardinality);
+  }
+
+  auto add_edge = [&](int a, int b) {
+    // PK-FK-style selectivity against the larger-keyed side, with noise.
+    const double pk_card = std::max(cards[static_cast<size_t>(a)],
+                                    cards[static_cast<size_t>(b)]);
+    const double noise = LogUniform(rng, 0.5, 2.0);
+    double sel = noise / pk_card;
+    if (sel > 1.0) sel = 1.0;
+    builder.AddJoin(refs[static_cast<size_t>(a)],
+                    refs[static_cast<size_t>(b)], sel);
+  };
+
+  switch (options.topology) {
+    case Topology::kChain:
+      for (int i = 1; i < n; ++i) add_edge(i - 1, i);
+      break;
+    case Topology::kStar:
+      for (int i = 1; i < n; ++i) add_edge(0, i);
+      break;
+    case Topology::kCycle:
+      for (int i = 1; i < n; ++i) add_edge(i - 1, i);
+      if (n > 2) add_edge(n - 1, 0);
+      break;
+    case Topology::kClique:
+      for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) add_edge(i, j);
+      }
+      break;
+    case Topology::kRandomTree: {
+      // Attach each table to a uniformly random earlier table, then add a
+      // few extra edges to create cycles.
+      for (int i = 1; i < n; ++i) {
+        add_edge(static_cast<int>(rng.Uniform(static_cast<uint64_t>(i))), i);
+      }
+      const int extra = n >= 4 ? static_cast<int>(rng.Uniform(2)) : 0;
+      for (int e = 0; e < extra; ++e) {
+        const int a = static_cast<int>(rng.Uniform(static_cast<uint64_t>(n)));
+        const int b = static_cast<int>(rng.Uniform(static_cast<uint64_t>(n)));
+        if (a != b) add_edge(std::min(a, b), std::max(a, b));
+      }
+      break;
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace moqo

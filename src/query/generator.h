@@ -1,0 +1,42 @@
+// Random query generator for tests and synthetic benchmarks.
+//
+// Generates a query block with a chosen join-graph topology over freshly
+// generated tables (appended to the supplied catalog). Deterministic given
+// the Rng state.
+#ifndef MOQO_QUERY_GENERATOR_H_
+#define MOQO_QUERY_GENERATOR_H_
+
+#include "catalog/catalog.h"
+#include "query/query.h"
+#include "util/rng.h"
+
+namespace moqo {
+
+enum class Topology {
+  kChain,   // t0 - t1 - ... - t_{n-1}
+  kStar,    // t0 joined with every other table
+  kCycle,   // chain plus closing edge
+  kClique,  // every pair joined
+  kRandomTree,  // uniform random spanning tree + a few extra edges
+};
+
+struct GeneratorOptions {
+  int num_tables = 4;
+  Topology topology = Topology::kRandomTree;
+  // Base cardinalities drawn log-uniformly from this range.
+  double min_cardinality = 100.0;
+  double max_cardinality = 1e6;
+  // Probability that a table carries a local predicate; the predicate's
+  // selectivity is drawn log-uniformly from [0.001, 1].
+  double predicate_probability = 0.5;
+};
+
+// Appends `options.num_tables` synthetic tables to `catalog` and returns a
+// connected query block over them. Join selectivities follow the PK-FK
+// pattern (1 / cardinality of one endpoint) with noise.
+Query RandomQuery(Rng& rng, const GeneratorOptions& options,
+                  Catalog* catalog);
+
+}  // namespace moqo
+
+#endif  // MOQO_QUERY_GENERATOR_H_

@@ -1,0 +1,93 @@
+#include "query/join_graph.h"
+
+#include "util/common.h"
+
+namespace moqo {
+
+JoinGraph::JoinGraph(const Query& query, const Catalog& catalog)
+    : num_tables_(query.NumTables()), joins_(query.joins) {
+  base_card_.reserve(static_cast<size_t>(num_tables_));
+  neighbors_.assign(static_cast<size_t>(num_tables_), TableSet());
+  for (int t = 0; t < num_tables_; ++t) {
+    const TableRef& ref = query.tables[static_cast<size_t>(t)];
+    const double card =
+        catalog.Get(ref.table).cardinality * ref.predicate_selectivity;
+    base_card_.push_back(card < 1.0 ? 1.0 : card);
+  }
+  for (const JoinPredicate& join : joins_) {
+    neighbors_[static_cast<size_t>(join.left)] =
+        neighbors_[static_cast<size_t>(join.left)].Union(
+            TableSet::Singleton(join.right));
+    neighbors_[static_cast<size_t>(join.right)] =
+        neighbors_[static_cast<size_t>(join.right)].Union(
+            TableSet::Singleton(join.left));
+  }
+}
+
+bool JoinGraph::IsConnected(TableSet set) const {
+  if (set.Empty()) return false;
+  if (set.Count() == 1) return true;
+  // BFS from the lowest table, restricted to `set`.
+  TableSet visited = TableSet::Singleton(set.Lowest());
+  TableSet frontier = visited;
+  while (!frontier.Empty()) {
+    TableSet next;
+    for (TableIter it(frontier); !it.Done(); it.Next()) {
+      next = next.Union(Neighbors(it.Table()).Intersect(set));
+    }
+    frontier = next.Minus(visited);
+    visited = visited.Union(next);
+  }
+  return visited.ContainsAll(set);
+}
+
+bool JoinGraph::HasEdgeBetween(TableSet a, TableSet b) const {
+  for (TableIter it(a); !it.Done(); it.Next()) {
+    if (Neighbors(it.Table()).Intersects(b)) return true;
+  }
+  return false;
+}
+
+double JoinGraph::SelectivityBetween(TableSet a, TableSet b) const {
+  double selectivity = 1.0;
+  for (const JoinPredicate& join : joins_) {
+    const bool lr = a.Contains(join.left) && b.Contains(join.right);
+    const bool rl = a.Contains(join.right) && b.Contains(join.left);
+    if (lr || rl) selectivity *= join.selectivity;
+  }
+  return selectivity;
+}
+
+int JoinGraph::FirstPredicateBetween(TableSet a, TableSet b) const {
+  for (size_t i = 0; i < joins_.size(); ++i) {
+    const JoinPredicate& join = joins_[i];
+    const bool lr = a.Contains(join.left) && b.Contains(join.right);
+    const bool rl = a.Contains(join.right) && b.Contains(join.left);
+    if (lr || rl) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int JoinGraph::FirstPredicateIncident(int t) const {
+  for (size_t i = 0; i < joins_.size(); ++i) {
+    if (joins_[i].left == t || joins_[i].right == t) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+double JoinGraph::EstimateCardinality(TableSet set) const {
+  double card = 1.0;
+  for (TableIter it(set); !it.Done(); it.Next()) {
+    card *= EffectiveBaseCardinality(it.Table());
+  }
+  for (const JoinPredicate& join : joins_) {
+    if (set.Contains(join.left) && set.Contains(join.right)) {
+      card *= join.selectivity;
+    }
+  }
+  return card < 1.0 ? 1.0 : card;
+}
+
+}  // namespace moqo

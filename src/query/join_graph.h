@@ -1,0 +1,70 @@
+// Join graph: connectivity and cardinality estimation over table subsets.
+//
+// Built once per query; the optimizer uses it to (a) restrict dynamic
+// programming to connected sub-queries (avoiding cross products, standard
+// practice), and (b) estimate intermediate result cardinalities with the
+// classical independence model: |q| = Π base cardinalities × Π internal
+// join selectivities.
+#ifndef MOQO_QUERY_JOIN_GRAPH_H_
+#define MOQO_QUERY_JOIN_GRAPH_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "query/query.h"
+#include "util/table_set.h"
+
+namespace moqo {
+
+class JoinGraph {
+ public:
+  JoinGraph(const Query& query, const Catalog& catalog);
+
+  int NumTables() const { return num_tables_; }
+
+  // Base cardinality of table reference `t` after local predicates.
+  double EffectiveBaseCardinality(int t) const {
+    return base_card_[static_cast<size_t>(t)];
+  }
+
+  // Tables directly joined with `t`.
+  TableSet Neighbors(int t) const {
+    return neighbors_[static_cast<size_t>(t)];
+  }
+
+  // True if the induced subgraph on `set` is connected (singletons are
+  // connected; the empty set is not).
+  bool IsConnected(TableSet set) const;
+
+  // True if at least one join predicate crosses between `a` and `b`.
+  bool HasEdgeBetween(TableSet a, TableSet b) const;
+
+  // Product of the selectivities of all join predicates with one side in
+  // `a` and the other in `b` (1.0 if none: cross product).
+  double SelectivityBetween(TableSet a, TableSet b) const;
+
+  // Index of the first join predicate crossing between `a` and `b`, or -1
+  // if none. Used to tag the interesting order produced by a sort-merge
+  // join of the two sides.
+  int FirstPredicateBetween(TableSet a, TableSet b) const;
+
+  // Index of the first join predicate incident to table `t`, or -1. Used
+  // to tag the order produced by an index scan of `t`.
+  int FirstPredicateIncident(int t) const;
+
+  int NumPredicates() const { return static_cast<int>(joins_.size()); }
+
+  // Estimated result cardinality of joining exactly the tables in `set`
+  // (at full sampling rate), clamped below at 1 row.
+  double EstimateCardinality(TableSet set) const;
+
+ private:
+  int num_tables_;
+  std::vector<double> base_card_;
+  std::vector<TableSet> neighbors_;
+  std::vector<JoinPredicate> joins_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_QUERY_JOIN_GRAPH_H_

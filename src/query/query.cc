@@ -1,0 +1,59 @@
+#include "query/query.h"
+
+#include "util/common.h"
+#include "util/str.h"
+
+namespace moqo {
+
+int QueryBuilder::AddTable(TableId table, double predicate_selectivity,
+                           std::string alias) {
+  TableRef ref;
+  ref.table = table;
+  ref.predicate_selectivity = predicate_selectivity;
+  ref.alias = std::move(alias);
+  query_.tables.push_back(std::move(ref));
+  return static_cast<int>(query_.tables.size() - 1);
+}
+
+QueryBuilder& QueryBuilder::AddJoin(int left, int right, double selectivity) {
+  query_.joins.push_back({left, right, selectivity});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::AddFkJoin(const Catalog& catalog, int fk_ref,
+                                      int pk_ref) {
+  const TableId pk_table =
+      query_.tables[static_cast<size_t>(pk_ref)].table;
+  const double pk_card = catalog.Get(pk_table).cardinality;
+  return AddJoin(fk_ref, pk_ref, 1.0 / pk_card);
+}
+
+Status ValidateQuery(const Query& query, const Catalog& catalog) {
+  const int n = query.NumTables();
+  if (n < 1) return Status::InvalidArgument("query has no tables");
+  if (n > kMaxTables) {
+    return Status::InvalidArgument(
+        StrFormat("query has %d tables, max is %d", n, kMaxTables));
+  }
+  for (const TableRef& ref : query.tables) {
+    if (ref.table < 0 || ref.table >= catalog.NumTables()) {
+      return Status::InvalidArgument("table reference out of range");
+    }
+    if (!(ref.predicate_selectivity > 0.0 &&
+          ref.predicate_selectivity <= 1.0)) {
+      return Status::InvalidArgument("predicate selectivity not in (0, 1]");
+    }
+  }
+  for (const JoinPredicate& join : query.joins) {
+    if (join.left < 0 || join.left >= n || join.right < 0 ||
+        join.right >= n || join.left == join.right) {
+      return Status::InvalidArgument("join predicate references invalid");
+    }
+    if (!(join.selectivity > 0.0 && join.selectivity <= 1.0)) {
+      return Status::InvalidArgument("join selectivity not in (0, 1]");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace moqo

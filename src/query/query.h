@@ -1,0 +1,76 @@
+// Query model (paper §3): a set of tables that need to be joined.
+//
+// Following the paper's extension section (§4.3), each table reference may
+// carry a local predicate selectivity (predicates are applied as early as
+// possible, i.e. at the scan), and join predicates connect table pairs with
+// a join selectivity. A Query is one select-project-join query block;
+// complex SQL statements decompose into such blocks (Selinger).
+#ifndef MOQO_QUERY_QUERY_H_
+#define MOQO_QUERY_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "util/table_set.h"
+
+namespace moqo {
+
+// One table reference inside a query block. `table` indexes the catalog;
+// the same catalog table may appear several times (self-joins, e.g. the
+// two NATION references in TPC-H Q7/Q8).
+struct TableRef {
+  TableId table = 0;
+  // Combined selectivity of all local predicates on this reference.
+  double predicate_selectivity = 1.0;
+  // Display alias, e.g. "n1".
+  std::string alias;
+};
+
+// An equi-join predicate between two table references (local indices).
+struct JoinPredicate {
+  int left = 0;
+  int right = 0;
+  double selectivity = 1.0;
+};
+
+// A select-project-join query block over n <= kMaxTables table references.
+struct Query {
+  std::string name;
+  std::vector<TableRef> tables;
+  std::vector<JoinPredicate> joins;
+
+  int NumTables() const { return static_cast<int>(tables.size()); }
+  TableSet AllTables() const { return TableSet::Full(NumTables()); }
+};
+
+// Convenience builder used by the TPC-H workload and the generator.
+class QueryBuilder {
+ public:
+  explicit QueryBuilder(std::string name) { query_.name = std::move(name); }
+
+  // Adds a reference to catalog table `table`; returns its local index.
+  int AddTable(TableId table, double predicate_selectivity = 1.0,
+               std::string alias = "");
+
+  // Adds an explicit-selectivity join predicate.
+  QueryBuilder& AddJoin(int left, int right, double selectivity);
+
+  // Adds a foreign-key join: `fk_ref` references the primary key of
+  // `pk_ref`. Selectivity is 1 / |pk table| (standard PK-FK estimate),
+  // looked up in `catalog`.
+  QueryBuilder& AddFkJoin(const Catalog& catalog, int fk_ref, int pk_ref);
+
+  Query Build() const { return query_; }
+
+ private:
+  Query query_;
+};
+
+// Validates a query block: table indices in range, selectivities in (0, 1],
+// join graph references valid, table count within kMaxTables.
+Status ValidateQuery(const Query& query, const Catalog& catalog);
+
+}  // namespace moqo
+
+#endif  // MOQO_QUERY_QUERY_H_

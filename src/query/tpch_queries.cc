@@ -1,0 +1,319 @@
+#include "query/tpch_queries.h"
+
+#include <algorithm>
+
+#include "catalog/tpch.h"
+#include "util/common.h"
+
+namespace moqo {
+namespace {
+
+// Q2 outer block: part, supplier, partsupp, nation, region (5 tables).
+Query MakeQ2Outer(const Catalog& c) {
+  QueryBuilder b("q2");
+  const int p = b.AddTable(kPart, 0.01, "p");      // p_size = .. and p_type
+  const int s = b.AddTable(kSupplier, 1.0, "s");
+  const int ps = b.AddTable(kPartsupp, 1.0, "ps");
+  const int n = b.AddTable(kNation, 1.0, "n");
+  const int r = b.AddTable(kRegion, 0.2, "r");     // r_name = ..
+  b.AddFkJoin(c, ps, p);
+  b.AddFkJoin(c, ps, s);
+  b.AddFkJoin(c, s, n);
+  b.AddFkJoin(c, n, r);
+  return b.Build();
+}
+
+// Q2 correlated sub-query block: partsupp, supplier, nation, region (4).
+Query MakeQ2Sub(const Catalog& c) {
+  QueryBuilder b("q2sub");
+  const int ps = b.AddTable(kPartsupp, 1.0, "ps");
+  const int s = b.AddTable(kSupplier, 1.0, "s");
+  const int n = b.AddTable(kNation, 1.0, "n");
+  const int r = b.AddTable(kRegion, 0.2, "r");
+  b.AddFkJoin(c, ps, s);
+  b.AddFkJoin(c, s, n);
+  b.AddFkJoin(c, n, r);
+  return b.Build();
+}
+
+// Q3: customer, orders, lineitem (3).
+Query MakeQ3(const Catalog& c) {
+  QueryBuilder b("q3");
+  const int cu = b.AddTable(kCustomer, 0.2, "c");   // c_mktsegment = ..
+  const int o = b.AddTable(kOrders, 0.48, "o");     // o_orderdate < ..
+  const int l = b.AddTable(kLineitem, 0.54, "l");   // l_shipdate > ..
+  b.AddFkJoin(c, o, cu);
+  b.AddFkJoin(c, l, o);
+  return b.Build();
+}
+
+// Q4 (rewritten as join): orders, lineitem (2).
+Query MakeQ4(const Catalog& c) {
+  QueryBuilder b("q4");
+  const int o = b.AddTable(kOrders, 0.038, "o");    // quarter date range
+  const int l = b.AddTable(kLineitem, 0.63, "l");   // commitdate < receiptdate
+  b.AddFkJoin(c, l, o);
+  return b.Build();
+}
+
+// Q5: customer, orders, lineitem, supplier, nation, region (6).
+Query MakeQ5(const Catalog& c) {
+  QueryBuilder b("q5");
+  const int cu = b.AddTable(kCustomer, 1.0, "c");
+  const int o = b.AddTable(kOrders, 0.15, "o");     // one-year date range
+  const int l = b.AddTable(kLineitem, 1.0, "l");
+  const int s = b.AddTable(kSupplier, 1.0, "s");
+  const int n = b.AddTable(kNation, 1.0, "n");
+  const int r = b.AddTable(kRegion, 0.2, "r");
+  b.AddFkJoin(c, o, cu);
+  b.AddFkJoin(c, l, o);
+  b.AddFkJoin(c, l, s);
+  b.AddFkJoin(c, s, n);
+  b.AddFkJoin(c, n, r);
+  // c_nationkey = s_nationkey correlates customer and supplier.
+  b.AddJoin(cu, s, 1.0 / 25.0);
+  return b.Build();
+}
+
+// Q7: supplier, lineitem, orders, customer, nation n1, nation n2 (6).
+Query MakeQ7(const Catalog& c) {
+  QueryBuilder b("q7");
+  const int s = b.AddTable(kSupplier, 1.0, "s");
+  const int l = b.AddTable(kLineitem, 0.3, "l");    // two-year shipdate range
+  const int o = b.AddTable(kOrders, 1.0, "o");
+  const int cu = b.AddTable(kCustomer, 1.0, "c");
+  const int n1 = b.AddTable(kNation, 1.0, "n1");
+  const int n2 = b.AddTable(kNation, 1.0, "n2");
+  b.AddFkJoin(c, l, s);
+  b.AddFkJoin(c, l, o);
+  b.AddFkJoin(c, o, cu);
+  b.AddFkJoin(c, s, n1);
+  b.AddFkJoin(c, cu, n2);
+  // (n1 = FRANCE and n2 = GERMANY) or (n1 = GERMANY and n2 = FRANCE).
+  b.AddJoin(n1, n2, 2.0 / 625.0);
+  return b.Build();
+}
+
+// Q8: part, supplier, lineitem, orders, customer, n1, region, n2 (8).
+Query MakeQ8(const Catalog& c) {
+  QueryBuilder b("q8");
+  const int p = b.AddTable(kPart, 0.001, "p");      // p_type = '..'
+  const int s = b.AddTable(kSupplier, 1.0, "s");
+  const int l = b.AddTable(kLineitem, 1.0, "l");
+  const int o = b.AddTable(kOrders, 0.3, "o");      // two-year date range
+  const int cu = b.AddTable(kCustomer, 1.0, "c");
+  const int n1 = b.AddTable(kNation, 1.0, "n1");
+  const int r = b.AddTable(kRegion, 0.2, "r");
+  const int n2 = b.AddTable(kNation, 1.0, "n2");
+  b.AddFkJoin(c, l, p);
+  b.AddFkJoin(c, l, s);
+  b.AddFkJoin(c, l, o);
+  b.AddFkJoin(c, o, cu);
+  b.AddFkJoin(c, cu, n1);
+  b.AddFkJoin(c, n1, r);
+  b.AddFkJoin(c, s, n2);
+  return b.Build();
+}
+
+// Q9: part, supplier, lineitem, partsupp, orders, nation (6).
+Query MakeQ9(const Catalog& c) {
+  QueryBuilder b("q9");
+  const int p = b.AddTable(kPart, 0.05, "p");       // p_name like '%..%'
+  const int s = b.AddTable(kSupplier, 1.0, "s");
+  const int l = b.AddTable(kLineitem, 1.0, "l");
+  const int ps = b.AddTable(kPartsupp, 1.0, "ps");
+  const int o = b.AddTable(kOrders, 1.0, "o");
+  const int n = b.AddTable(kNation, 1.0, "n");
+  b.AddFkJoin(c, l, p);
+  b.AddFkJoin(c, l, s);
+  b.AddFkJoin(c, l, o);
+  b.AddFkJoin(c, s, n);
+  // Composite key join lineitem -> partsupp.
+  b.AddFkJoin(c, l, ps);
+  b.AddFkJoin(c, ps, p);
+  b.AddFkJoin(c, ps, s);
+  return b.Build();
+}
+
+// Q10: customer, orders, lineitem, nation (4).
+Query MakeQ10(const Catalog& c) {
+  QueryBuilder b("q10");
+  const int cu = b.AddTable(kCustomer, 1.0, "c");
+  const int o = b.AddTable(kOrders, 0.038, "o");    // quarter date range
+  const int l = b.AddTable(kLineitem, 0.25, "l");   // l_returnflag = 'R'
+  const int n = b.AddTable(kNation, 1.0, "n");
+  b.AddFkJoin(c, o, cu);
+  b.AddFkJoin(c, l, o);
+  b.AddFkJoin(c, cu, n);
+  return b.Build();
+}
+
+// Q11: partsupp, supplier, nation (3). Appears twice in the SQL; one block.
+Query MakeQ11(const Catalog& c) {
+  QueryBuilder b("q11");
+  const int ps = b.AddTable(kPartsupp, 1.0, "ps");
+  const int s = b.AddTable(kSupplier, 1.0, "s");
+  const int n = b.AddTable(kNation, 0.04, "n");     // n_name = '..'
+  b.AddFkJoin(c, ps, s);
+  b.AddFkJoin(c, s, n);
+  return b.Build();
+}
+
+// Q12: orders, lineitem (2).
+Query MakeQ12(const Catalog& c) {
+  QueryBuilder b("q12");
+  const int o = b.AddTable(kOrders, 1.0, "o");
+  const int l = b.AddTable(kLineitem, 0.005, "l");  // shipmode + date preds
+  b.AddFkJoin(c, l, o);
+  return b.Build();
+}
+
+// Q13: customer, orders (2; outer join optimized as join block).
+Query MakeQ13(const Catalog& c) {
+  QueryBuilder b("q13");
+  const int cu = b.AddTable(kCustomer, 1.0, "c");
+  const int o = b.AddTable(kOrders, 0.98, "o");     // o_comment not like ..
+  b.AddFkJoin(c, o, cu);
+  return b.Build();
+}
+
+// Q14: lineitem, part (2).
+Query MakeQ14(const Catalog& c) {
+  QueryBuilder b("q14");
+  const int l = b.AddTable(kLineitem, 0.013, "l");  // one-month date range
+  const int p = b.AddTable(kPart, 1.0, "p");
+  b.AddFkJoin(c, l, p);
+  return b.Build();
+}
+
+// Q16: partsupp, part (2).
+Query MakeQ16(const Catalog& c) {
+  QueryBuilder b("q16");
+  const int ps = b.AddTable(kPartsupp, 1.0, "ps");
+  const int p = b.AddTable(kPart, 0.04, "p");       // brand/type/size preds
+  b.AddFkJoin(c, ps, p);
+  return b.Build();
+}
+
+// Q17: lineitem, part (2).
+Query MakeQ17(const Catalog& c) {
+  QueryBuilder b("q17");
+  const int l = b.AddTable(kLineitem, 1.0, "l");
+  const int p = b.AddTable(kPart, 0.001, "p");      // brand + container
+  b.AddFkJoin(c, l, p);
+  return b.Build();
+}
+
+// Q18: customer, orders, lineitem (3).
+Query MakeQ18(const Catalog& c) {
+  QueryBuilder b("q18");
+  const int cu = b.AddTable(kCustomer, 1.0, "c");
+  const int o = b.AddTable(kOrders, 0.0001, "o");   // orders with huge qty
+  const int l = b.AddTable(kLineitem, 1.0, "l");
+  b.AddFkJoin(c, o, cu);
+  b.AddFkJoin(c, l, o);
+  return b.Build();
+}
+
+// Q19: lineitem, part (2).
+Query MakeQ19(const Catalog& c) {
+  QueryBuilder b("q19");
+  const int l = b.AddTable(kLineitem, 0.02, "l");   // shipmode/instruct preds
+  const int p = b.AddTable(kPart, 0.001, "p");      // brand/container/size
+  b.AddFkJoin(c, l, p);
+  return b.Build();
+}
+
+// Q20 outer block: supplier, nation (2).
+Query MakeQ20Outer(const Catalog& c) {
+  QueryBuilder b("q20");
+  const int s = b.AddTable(kSupplier, 1.0, "s");
+  const int n = b.AddTable(kNation, 0.04, "n");
+  b.AddFkJoin(c, s, n);
+  return b.Build();
+}
+
+// Q20 sub-query block: partsupp, part (2).
+Query MakeQ20Sub(const Catalog& c) {
+  QueryBuilder b("q20sub");
+  const int ps = b.AddTable(kPartsupp, 1.0, "ps");
+  const int p = b.AddTable(kPart, 0.01, "p");       // p_name like '..%'
+  b.AddFkJoin(c, ps, p);
+  return b.Build();
+}
+
+// Q21: supplier, lineitem, orders, nation (4).
+Query MakeQ21(const Catalog& c) {
+  QueryBuilder b("q21");
+  const int s = b.AddTable(kSupplier, 1.0, "s");
+  const int l = b.AddTable(kLineitem, 0.5, "l");    // receipt > commit
+  const int o = b.AddTable(kOrders, 0.49, "o");     // o_orderstatus = 'F'
+  const int n = b.AddTable(kNation, 0.04, "n");
+  b.AddFkJoin(c, l, s);
+  b.AddFkJoin(c, l, o);
+  b.AddFkJoin(c, s, n);
+  return b.Build();
+}
+
+// Q22: customer, orders (2; anti-join optimized as join block).
+Query MakeQ22(const Catalog& c) {
+  QueryBuilder b("q22");
+  const int cu = b.AddTable(kCustomer, 0.25, "c");  // phone prefix in (...)
+  const int o = b.AddTable(kOrders, 1.0, "o");
+  b.AddFkJoin(c, o, cu);
+  return b.Build();
+}
+
+}  // namespace
+
+std::vector<Query> TpchQueryBlocks(const Catalog& catalog) {
+  std::vector<Query> blocks;
+  blocks.push_back(MakeQ2Outer(catalog));
+  blocks.push_back(MakeQ2Sub(catalog));
+  blocks.push_back(MakeQ3(catalog));
+  blocks.push_back(MakeQ4(catalog));
+  blocks.push_back(MakeQ5(catalog));
+  blocks.push_back(MakeQ7(catalog));
+  blocks.push_back(MakeQ8(catalog));
+  blocks.push_back(MakeQ9(catalog));
+  blocks.push_back(MakeQ10(catalog));
+  blocks.push_back(MakeQ11(catalog));
+  blocks.push_back(MakeQ12(catalog));
+  blocks.push_back(MakeQ13(catalog));
+  blocks.push_back(MakeQ14(catalog));
+  blocks.push_back(MakeQ16(catalog));
+  blocks.push_back(MakeQ17(catalog));
+  blocks.push_back(MakeQ18(catalog));
+  blocks.push_back(MakeQ19(catalog));
+  blocks.push_back(MakeQ20Outer(catalog));
+  blocks.push_back(MakeQ20Sub(catalog));
+  blocks.push_back(MakeQ21(catalog));
+  blocks.push_back(MakeQ22(catalog));
+  for (const Query& q : blocks) {
+    MOQO_CHECK_MSG(ValidateQuery(q, catalog).ok(), q.name.c_str());
+  }
+  return blocks;
+}
+
+std::vector<Query> TpchBlocksWithTables(const Catalog& catalog,
+                                        int num_tables) {
+  std::vector<Query> out;
+  for (Query& q : TpchQueryBlocks(catalog)) {
+    if (q.NumTables() == num_tables) out.push_back(std::move(q));
+  }
+  return out;
+}
+
+std::vector<int> TpchBlockTableCounts(const Catalog& catalog) {
+  std::vector<int> counts;
+  for (const Query& q : TpchQueryBlocks(catalog)) {
+    if (std::find(counts.begin(), counts.end(), q.NumTables()) ==
+        counts.end()) {
+      counts.push_back(q.NumTables());
+    }
+  }
+  std::sort(counts.begin(), counts.end());
+  return counts;
+}
+
+}  // namespace moqo

@@ -1,0 +1,35 @@
+// The TPC-H join workload used by the paper's evaluation (§6).
+//
+// The paper optimizes every TPC-H query containing at least one join;
+// Postgres decomposes some queries into several select-project-join blocks
+// (sub-queries) which are optimized separately. We encode the join graph of
+// each such block: table references, local predicate selectivities
+// (approximated from the TPC-H specification's predicates), and join
+// selectivities (PK-FK estimates from the catalog).
+//
+// The resulting blocks join 2, 3, 4, 5, 6, or 8 tables — never 7, exactly
+// as the paper observes ("no TPC-H sub-query joins seven tables").
+#ifndef MOQO_QUERY_TPCH_QUERIES_H_
+#define MOQO_QUERY_TPCH_QUERIES_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "query/query.h"
+
+namespace moqo {
+
+// All TPC-H query blocks with at least one join, against the catalog built
+// by MakeTpchCatalog().
+std::vector<Query> TpchQueryBlocks(const Catalog& catalog);
+
+// The subset of blocks joining exactly `num_tables` tables.
+std::vector<Query> TpchBlocksWithTables(const Catalog& catalog,
+                                        int num_tables);
+
+// The distinct table counts appearing in the workload: {2, 3, 4, 5, 6, 8}.
+std::vector<int> TpchBlockTableCounts(const Catalog& catalog);
+
+}  // namespace moqo
+
+#endif  // MOQO_QUERY_TPCH_QUERIES_H_

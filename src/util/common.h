@@ -1,0 +1,42 @@
+// Common macros and small helpers shared across the MOQO library.
+#ifndef MOQO_UTIL_COMMON_H_
+#define MOQO_UTIL_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace moqo {
+
+// Internal-invariant checks. These abort on violation; they guard logic
+// errors inside the library, not user input (user input goes through
+// Status-returning entry points).
+#define MOQO_CHECK(cond)                                                    \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "MOQO_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define MOQO_CHECK_MSG(cond, msg)                                           \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "MOQO_CHECK failed at %s:%d: %s (%s)\n",         \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MOQO_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
+#define MOQO_PREDICT_FALSE(x) (__builtin_expect(!!(x), 0))
+#else
+#define MOQO_PREDICT_TRUE(x) (x)
+#define MOQO_PREDICT_FALSE(x) (x)
+#endif
+
+}  // namespace moqo
+
+#endif  // MOQO_UTIL_COMMON_H_

@@ -1,0 +1,100 @@
+// Minimal Status / StatusOr error-handling primitives (RocksDB-style).
+//
+// The MOQO library does not throw exceptions. Fallible public entry points
+// return Status (or StatusOr<T>); internal invariants use MOQO_CHECK.
+#ifndef MOQO_UTIL_STATUS_H_
+#define MOQO_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/common.h"
+
+namespace moqo {
+
+// Error categories. Kept deliberately small; code should branch on ok()
+// in almost all cases and use the category only for reporting.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+};
+
+// Value-type status word. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable one-line rendering, e.g. "InvalidArgument: bad bounds".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A Status or a value of type T. The value may only be accessed when ok().
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    MOQO_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    MOQO_CHECK_MSG(ok(), "value() on errored StatusOr");
+    return value_;
+  }
+  T& value() & {
+    MOQO_CHECK_MSG(ok(), "value() on errored StatusOr");
+    return value_;
+  }
+  T&& value() && {
+    MOQO_CHECK_MSG(ok(), "value() on errored StatusOr");
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+#define MOQO_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::moqo::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+}  // namespace moqo
+
+#endif  // MOQO_UTIL_STATUS_H_

@@ -1,0 +1,20 @@
+// Small string formatting helpers (printf-style StrFormat and joining).
+#ifndef MOQO_UTIL_STR_H_
+#define MOQO_UTIL_STR_H_
+
+#include <string>
+#include <vector>
+
+namespace moqo {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Joins `parts` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+}  // namespace moqo
+
+#endif  // MOQO_UTIL_STR_H_

@@ -1,0 +1,107 @@
+// TableSet: a set of query tables represented as a bitmask.
+//
+// The optimizer's dynamic programming tables are indexed by table subsets.
+// Queries have at most kMaxTables tables, so a subset fits in a uint32_t
+// and subset enumeration uses standard bit tricks.
+#ifndef MOQO_UTIL_TABLE_SET_H_
+#define MOQO_UTIL_TABLE_SET_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "util/common.h"
+
+namespace moqo {
+
+// Maximum number of tables in a single query block. TPC-H query blocks
+// join at most 8 tables; 16 leaves headroom for synthetic workloads.
+inline constexpr int kMaxTables = 16;
+
+// Immutable value type describing a subset of the query's tables.
+class TableSet {
+ public:
+  constexpr TableSet() : mask_(0) {}
+  constexpr explicit TableSet(uint32_t mask) : mask_(mask) {}
+
+  // The singleton set {table}.
+  static constexpr TableSet Singleton(int table) {
+    return TableSet(uint32_t{1} << table);
+  }
+  // The full set {0, ..., num_tables-1}.
+  static constexpr TableSet Full(int num_tables) {
+    return TableSet(num_tables == 32 ? ~uint32_t{0}
+                                     : ((uint32_t{1} << num_tables) - 1));
+  }
+
+  constexpr uint32_t mask() const { return mask_; }
+  constexpr bool Empty() const { return mask_ == 0; }
+  constexpr int Count() const { return std::popcount(mask_); }
+  constexpr bool Contains(int table) const {
+    return (mask_ >> table) & 1u;
+  }
+  constexpr bool ContainsAll(TableSet other) const {
+    return (mask_ & other.mask_) == other.mask_;
+  }
+  constexpr bool Intersects(TableSet other) const {
+    return (mask_ & other.mask_) != 0;
+  }
+  constexpr TableSet Union(TableSet other) const {
+    return TableSet(mask_ | other.mask_);
+  }
+  constexpr TableSet Intersect(TableSet other) const {
+    return TableSet(mask_ & other.mask_);
+  }
+  constexpr TableSet Minus(TableSet other) const {
+    return TableSet(mask_ & ~other.mask_);
+  }
+  // Index of the lowest table in the set; undefined on the empty set.
+  int Lowest() const {
+    MOQO_CHECK(mask_ != 0);
+    return std::countr_zero(mask_);
+  }
+
+  friend constexpr bool operator==(TableSet a, TableSet b) {
+    return a.mask_ == b.mask_;
+  }
+  friend constexpr bool operator!=(TableSet a, TableSet b) {
+    return a.mask_ != b.mask_;
+  }
+
+ private:
+  uint32_t mask_;
+};
+
+// Iterates the table indices contained in a set:
+//   for (TableIter it(set); !it.Done(); it.Next()) use(it.Table());
+class TableIter {
+ public:
+  explicit TableIter(TableSet set) : remaining_(set.mask()) {}
+  bool Done() const { return remaining_ == 0; }
+  int Table() const { return std::countr_zero(remaining_); }
+  void Next() { remaining_ &= remaining_ - 1; }
+
+ private:
+  uint32_t remaining_;
+};
+
+// Enumerates all proper non-empty subsets of `set` (each ordered split
+// (sub, set \ sub) is visited exactly once; the complement split is visited
+// as its own iteration). Standard "(sub - 1) & mask" trick.
+class SubsetIter {
+ public:
+  explicit SubsetIter(TableSet set)
+      : mask_(set.mask()), sub_(mask_ & (mask_ - 1)) {}
+  // Done once the current subset wraps to the full set or empty.
+  bool Done() const { return sub_ == 0; }
+  TableSet Subset() const { return TableSet(sub_); }
+  TableSet Complement() const { return TableSet(mask_ & ~sub_); }
+  void Next() { sub_ = (sub_ - 1) & mask_; }
+
+ private:
+  uint32_t mask_;
+  uint32_t sub_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_UTIL_TABLE_SET_H_

@@ -1,0 +1,113 @@
+#include "viz/frontier_view.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "pareto/dominance.h"
+#include "util/str.h"
+
+namespace moqo {
+namespace {
+
+double Project(double v, bool log_scale) {
+  if (!log_scale) return v;
+  return std::log10(v > 1e-12 ? v : 1e-12);
+}
+
+}  // namespace
+
+std::string RenderScatter(const std::vector<CellIndex::Entry>& plans,
+                          const MetricSchema& schema,
+                          const CostVector& bounds,
+                          const ScatterOptions& options) {
+  const int xm = options.x_metric;
+  const int ym = options.y_metric;
+  MOQO_CHECK(xm >= 0 && xm < schema.dims());
+  MOQO_CHECK(ym >= 0 && ym < schema.dims());
+
+  std::vector<const CellIndex::Entry*> visible;
+  for (const auto& e : plans) {
+    if (RespectsBounds(e.cost, bounds)) visible.push_back(&e);
+  }
+  if (visible.empty()) return "  (no plans within bounds)\n";
+
+  double min_x = std::numeric_limits<double>::infinity(), max_x = -min_x;
+  double min_y = min_x, max_y = -min_x;
+  double raw_min_x = min_x, raw_max_x = -min_x;
+  double raw_min_y = min_x, raw_max_y = -min_x;
+  for (const auto* e : visible) {
+    const double x = Project(e->cost[xm], options.log_x);
+    const double y = Project(e->cost[ym], options.log_y);
+    min_x = std::min(min_x, x);
+    max_x = std::max(max_x, x);
+    min_y = std::min(min_y, y);
+    max_y = std::max(max_y, y);
+    raw_min_x = std::min(raw_min_x, e->cost[xm]);
+    raw_max_x = std::max(raw_max_x, e->cost[xm]);
+    raw_min_y = std::min(raw_min_y, e->cost[ym]);
+    raw_max_y = std::max(raw_max_y, e->cost[ym]);
+  }
+  const double eps_x = (max_x - min_x) * 1e-9 + 1e-12;
+  const double eps_y = (max_y - min_y) * 1e-9 + 1e-12;
+  max_x += eps_x;
+  max_y += eps_y;
+
+  const int w = options.width, h = options.height;
+  std::vector<std::string> grid(static_cast<size_t>(h),
+                                std::string(static_cast<size_t>(w), ' '));
+  for (const auto* e : visible) {
+    const double x = Project(e->cost[xm], options.log_x);
+    const double y = Project(e->cost[ym], options.log_y);
+    const int cx = static_cast<int>((x - min_x) / (max_x - min_x) * (w - 1));
+    const int cy = static_cast<int>((y - min_y) / (max_y - min_y) * (h - 1));
+    grid[static_cast<size_t>(h - 1 - cy)][static_cast<size_t>(cx)] = '*';
+  }
+
+  const MetricInfo& xi = GetMetricInfo(schema.metric(xm));
+  const MetricInfo& yi = GetMetricInfo(schema.metric(ym));
+  std::string out = StrFormat(
+      "  y=%s [%.4g..%.4g]  x=%s [%.4g..%.4g]  (%zu plans)\n", yi.name,
+      raw_min_y, raw_max_y, xi.name, raw_min_x, raw_max_x, visible.size());
+  for (const std::string& row : grid) {
+    out += "  |";
+    out += row;
+    out += "\n";
+  }
+  out += "  +";
+  out.append(static_cast<size_t>(w), '-');
+  out += "\n";
+  return out;
+}
+
+std::string RenderTable(const std::vector<CellIndex::Entry>& plans,
+                        const MetricSchema& schema, size_t max_rows) {
+  std::vector<const CellIndex::Entry*> sorted;
+  for (const auto& e : plans) sorted.push_back(&e);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const CellIndex::Entry* a, const CellIndex::Entry* b) {
+              return a->cost[0] < b->cost[0];
+            });
+  std::string out = StrFormat("  %-4s", "#");
+  for (int i = 0; i < schema.dims(); ++i) {
+    const MetricInfo& info = GetMetricInfo(schema.metric(i));
+    out += StrFormat(" %16s", info.name);
+  }
+  out += "\n";
+  size_t row = 0;
+  for (const auto* e : sorted) {
+    if (row >= max_rows) {
+      out += StrFormat("  ... %zu more\n", sorted.size() - row);
+      break;
+    }
+    out += StrFormat("  %-4zu", row);
+    for (int i = 0; i < schema.dims(); ++i) {
+      out += StrFormat(" %16.5g", e->cost[i]);
+    }
+    out += "\n";
+    ++row;
+  }
+  return out;
+}
+
+}  // namespace moqo

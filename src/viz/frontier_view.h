@@ -1,0 +1,41 @@
+// Text rendering of Pareto frontiers for terminals.
+//
+// The paper's interface visualizes the approximate Pareto-optimal cost
+// tradeoffs as a continuously refined plot (Figure 1). This module renders
+// frontier snapshots as ASCII scatter plots (two chosen metrics) and as
+// sorted tradeoff tables; it backs the examples and the interactive CLI.
+#ifndef MOQO_VIZ_FRONTIER_VIEW_H_
+#define MOQO_VIZ_FRONTIER_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "cost/metric.h"
+#include "index/cell_index.h"
+
+namespace moqo {
+
+struct ScatterOptions {
+  int width = 56;
+  int height = 14;
+  int x_metric = 0;  // Schema position on the x axis.
+  int y_metric = 1;  // Schema position on the y axis.
+  bool log_x = false;
+  bool log_y = false;
+};
+
+// Renders the cost vectors of `plans` as an ASCII scatter plot. Plans
+// outside finite `bounds` are skipped; bounds rows/cols are annotated.
+std::string RenderScatter(const std::vector<CellIndex::Entry>& plans,
+                          const MetricSchema& schema,
+                          const CostVector& bounds,
+                          const ScatterOptions& options = {});
+
+// Renders the frontier as a table sorted by the first metric:
+//   #  time(ms)   cores   precision_error
+std::string RenderTable(const std::vector<CellIndex::Entry>& plans,
+                        const MetricSchema& schema, size_t max_rows = 50);
+
+}  // namespace moqo
+
+#endif  // MOQO_VIZ_FRONTIER_VIEW_H_

@@ -1,0 +1,172 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "baseline/exhaustive.h"
+#include "baseline/memoryless.h"
+#include "baseline/one_shot.h"
+#include "baseline/single_objective.h"
+#include "pareto/coverage.h"
+#include "test_helpers.h"
+
+namespace moqo {
+namespace {
+
+TEST(ExhaustiveTest, EnumerationCountsForTwoTableQuery) {
+  RandomWorld world = MakeRandomWorld(3, 2, /*sampling=*/false);
+  const auto all =
+      EnumerateAllPlanCosts(*world.factory, TableSet::Full(2));
+  // Every plan = (scan A variant) x (scan B variant) x join op, both join
+  // orders.
+  size_t scans_a = 0, scans_b = 0;
+  world.factory->ForEachScan(0, [&](const OperatorDesc&, const OpCost&) {
+    ++scans_a;
+  });
+  world.factory->ForEachScan(1, [&](const OperatorDesc&, const OpCost&) {
+    ++scans_b;
+  });
+  EXPECT_GT(all.size(), 0u);
+  EXPECT_EQ(all.size() % (scans_a * scans_b), 0u);
+}
+
+TEST(ExhaustiveTest, ExactParetoMatchesBruteForceFrontier) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    RandomWorld world = MakeRandomWorld(seed, 3, /*sampling=*/false);
+    const CostVector inf = CostVector::Infinite(3);
+    const ExactParetoResult exact = RunExactPareto(*world.factory, inf);
+    const auto all =
+        EnumerateAllPlanCosts(*world.factory, TableSet::Full(3));
+    // Brute-force frontier over the full enumeration.
+    ParetoFrontier brute;
+    for (const CostVector& c : all) brute.Insert(c, 0);
+    const ParetoFrontier& dp = exact.FinalFrontier(3);
+    ASSERT_EQ(dp.size(), brute.size()) << "seed " << seed;
+    for (const auto& e : brute.entries()) {
+      EXPECT_TRUE(dp.IsDominated(e.cost));
+    }
+    for (const auto& e : dp.entries()) {
+      EXPECT_TRUE(brute.IsDominated(e.cost));
+    }
+  }
+}
+
+TEST(OneShotTest, AlphaOneKeepsFullParetoSet) {
+  RandomWorld world = MakeRandomWorld(5, 3, /*sampling=*/false);
+  const CostVector inf = CostVector::Infinite(3);
+  const OneShotResult result = RunOneShot(*world.factory, 1.0, inf);
+  const ExactParetoResult exact = RunExactPareto(*world.factory, inf);
+  // Every exact-Pareto cost must be covered exactly by the one-shot set.
+  std::vector<CostVector> result_costs;
+  for (PlanId id : result.FinalPlans(3)) {
+    result_costs.push_back(result.arena.at(id).cost);
+  }
+  std::vector<CostVector> reference;
+  for (const auto& e : exact.FinalFrontier(3).entries()) {
+    reference.push_back(e.cost);
+  }
+  const auto report = CheckCoverage(result_costs, reference, 1.0, inf);
+  EXPECT_TRUE(report.covered);
+  EXPECT_EQ(report.violations, 0);
+}
+
+class OneShotGuarantee : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OneShotGuarantee, AlphaPowNCoverageVsExhaustive) {
+  // The one-shot scheme guarantees an α^n-approximate Pareto plan set
+  // (Trummer & Koch 2014). Verified against full plan enumeration, with
+  // sampling disabled so the PONO is exact.
+  const int n = 3;
+  RandomWorld world = MakeRandomWorld(GetParam(), n, /*sampling=*/false);
+  const CostVector inf = CostVector::Infinite(3);
+  for (double alpha : {1.05, 1.25, 2.0}) {
+    const OneShotResult result = RunOneShot(*world.factory, alpha, inf);
+    std::vector<CostVector> result_costs;
+    for (PlanId id : result.FinalPlans(n)) {
+      result_costs.push_back(result.arena.at(id).cost);
+    }
+    const auto all =
+        EnumerateAllPlanCosts(*world.factory, TableSet::Full(n));
+    const auto report = CheckCoverage(result_costs, all,
+                                      std::pow(alpha, n), inf);
+    EXPECT_TRUE(report.covered)
+        << "alpha=" << alpha << " violations=" << report.violations
+        << " worst=" << report.worst_factor;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OneShotGuarantee,
+                         ::testing::Values(11, 12, 13, 14, 15));
+
+TEST(OneShotTest, LargerAlphaYieldsSmallerResultSets) {
+  RandomWorld world = MakeRandomWorld(6, 4, /*sampling=*/true);
+  const CostVector inf = CostVector::Infinite(3);
+  const size_t fine = RunOneShot(*world.factory, 1.01, inf).FinalPlans(4).size();
+  const size_t coarse =
+      RunOneShot(*world.factory, 1.5, inf).FinalPlans(4).size();
+  EXPECT_GE(fine, coarse);
+  EXPECT_GE(coarse, 1u);
+}
+
+TEST(OneShotTest, BoundsRestrictResults) {
+  RandomWorld world = MakeRandomWorld(7, 3, /*sampling=*/true);
+  const CostVector inf = CostVector::Infinite(3);
+  const OneShotResult unbounded = RunOneShot(*world.factory, 1.05, inf);
+  ASSERT_FALSE(unbounded.FinalPlans(3).empty());
+  // Bound time to the minimum achievable: only plans at that time survive.
+  double min_time = std::numeric_limits<double>::infinity();
+  for (PlanId id : unbounded.FinalPlans(3)) {
+    min_time = std::min(min_time, unbounded.arena.at(id).cost[0]);
+  }
+  CostVector bounds = CostVector::Infinite(3);
+  bounds[0] = min_time * 1.01;
+  const OneShotResult bounded = RunOneShot(*world.factory, 1.05, bounds);
+  EXPECT_LE(bounded.FinalPlans(3).size(), unbounded.FinalPlans(3).size());
+  for (PlanId id : bounded.FinalPlans(3)) {
+    EXPECT_LE(bounded.arena.at(id).cost[0], bounds[0]);
+  }
+}
+
+TEST(MemorylessTest, ProducesOneShotSequence) {
+  RandomWorld world = MakeRandomWorld(8, 3, /*sampling=*/true);
+  const ResolutionSchedule schedule(5, 1.01, 0.1);
+  const MemorylessDriver driver(*world.factory, schedule);
+  const CostVector inf = CostVector::Infinite(3);
+  size_t prev_size = 0;
+  for (int r = 0; r <= schedule.MaxResolution(); ++r) {
+    const OneShotResult step = driver.RunInvocation(r, inf);
+    const OneShotResult direct =
+        RunOneShot(*world.factory, schedule.Alpha(r), inf);
+    EXPECT_EQ(step.FinalPlans(3).size(), direct.FinalPlans(3).size());
+    // Result sets grow (weakly) as the precision refines.
+    EXPECT_GE(step.FinalPlans(3).size(), prev_size == 0 ? 0 : prev_size / 2);
+    prev_size = step.FinalPlans(3).size();
+  }
+}
+
+TEST(SingleObjectiveTest, MatchesBruteForceMinimumTime) {
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    RandomWorld world = MakeRandomWorld(seed, 3, /*sampling=*/false);
+    const SingleObjectiveResult best = MinimizeMetric(*world.factory, 0);
+    ASSERT_NE(best.best_plan, kInvalidPlan);
+    const auto all =
+        EnumerateAllPlanCosts(*world.factory, TableSet::Full(3));
+    double brute = std::numeric_limits<double>::infinity();
+    for (const CostVector& c : all) brute = std::min(brute, c[0]);
+    // Time aggregates additively, so DP over subsets is exactly optimal.
+    EXPECT_NEAR(best.best_cost[0], brute, 1e-9 * brute) << "seed " << seed;
+  }
+}
+
+TEST(SingleObjectiveTest, WeightedObjectiveReturnsPlan) {
+  RandomWorld world = MakeRandomWorld(30, 4, /*sampling=*/true);
+  const SingleObjectiveResult r =
+      RunSingleObjective(*world.factory, {1.0, 10.0, 100.0});
+  EXPECT_NE(r.best_plan, kInvalidPlan);
+  EXPECT_GT(r.best_value, 0.0);
+  EXPECT_GT(r.plans_generated, 0u);
+}
+
+}  // namespace
+}  // namespace moqo

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "catalog/statistics.h"
+#include "catalog/tpch.h"
+
+namespace moqo {
+namespace {
+
+TEST(CatalogTest, AddAndGet) {
+  Catalog catalog;
+  const TableId id = catalog.AddTable({"t", 1000.0, 100.0, true});
+  EXPECT_EQ(catalog.NumTables(), 1);
+  EXPECT_EQ(catalog.Get(id).name, "t");
+  EXPECT_DOUBLE_EQ(catalog.Get(id).cardinality, 1000.0);
+}
+
+TEST(CatalogTest, FindByName) {
+  Catalog catalog;
+  catalog.AddTable({"alpha", 10.0, 100.0, true});
+  catalog.AddTable({"beta", 20.0, 100.0, true});
+  auto found = catalog.FindByName("beta");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), 1);
+  EXPECT_FALSE(catalog.FindByName("gamma").ok());
+}
+
+TEST(CatalogTest, PagesComputedFromWidthAndCardinality) {
+  TableDef def{"t", 8192.0, 100.0, true};
+  // 8192 rows * 100 B / 8192 B per page = 100 pages.
+  EXPECT_DOUBLE_EQ(def.Pages(), 100.0);
+  TableDef tiny{"u", 1.0, 10.0, true};
+  EXPECT_DOUBLE_EQ(tiny.Pages(), 1.0);  // Clamped at one page.
+}
+
+TEST(TpchCatalogTest, Sf1Cardinalities) {
+  Catalog c = MakeTpchCatalog(1.0);
+  EXPECT_EQ(c.NumTables(), 8);
+  EXPECT_DOUBLE_EQ(c.Get(kRegion).cardinality, 5.0);
+  EXPECT_DOUBLE_EQ(c.Get(kNation).cardinality, 25.0);
+  EXPECT_DOUBLE_EQ(c.Get(kSupplier).cardinality, 10000.0);
+  EXPECT_DOUBLE_EQ(c.Get(kCustomer).cardinality, 150000.0);
+  EXPECT_DOUBLE_EQ(c.Get(kPart).cardinality, 200000.0);
+  EXPECT_DOUBLE_EQ(c.Get(kPartsupp).cardinality, 800000.0);
+  EXPECT_DOUBLE_EQ(c.Get(kOrders).cardinality, 1500000.0);
+  EXPECT_DOUBLE_EQ(c.Get(kLineitem).cardinality, 6001215.0);
+}
+
+TEST(TpchCatalogTest, ScaleFactorScalesVariableTablesOnly) {
+  Catalog c = MakeTpchCatalog(10.0);
+  EXPECT_DOUBLE_EQ(c.Get(kRegion).cardinality, 5.0);     // Fixed.
+  EXPECT_DOUBLE_EQ(c.Get(kNation).cardinality, 25.0);    // Fixed.
+  EXPECT_DOUBLE_EQ(c.Get(kOrders).cardinality, 15000000.0);
+}
+
+TEST(StatisticsTest, LargeTablesGetMoreSamplingRates) {
+  TableDef lineitem{"lineitem", 6001215.0, 129.0, true};
+  TableDef nation{"nation", 25.0, 109.0, true};
+  const auto big = SamplingRates(lineitem, 3);
+  const auto small = SamplingRates(nation, 3);
+  EXPECT_EQ(big.size(), 3u);
+  // Tiny tables support no useful sampling (paper footnote 4: fewer
+  // sampling strategies for small tables).
+  EXPECT_TRUE(small.empty());
+}
+
+TEST(StatisticsTest, SamplingRatesDecreaseGeometrically) {
+  TableDef t{"t", 1e7, 100.0, true};
+  const auto rates = SamplingRates(t, 4);
+  ASSERT_GE(rates.size(), 2u);
+  for (size_t i = 1; i < rates.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rates[i], rates[i - 1] / 4.0);
+    EXPECT_GT(rates[i], 0.0);
+    EXPECT_LT(rates[i], 1.0);
+  }
+  // Every rate keeps at least ~1000 sampled rows.
+  for (double r : rates) EXPECT_GE(r * t.cardinality, 1000.0);
+}
+
+TEST(StatisticsTest, SamplingRatesRespectCap) {
+  TableDef t{"t", 1e9, 100.0, true};
+  EXPECT_EQ(SamplingRates(t, 2).size(), 2u);
+  EXPECT_TRUE(SamplingRates(t, 0).empty());
+}
+
+TEST(StatisticsTest, WorkerCountsFormGeometricLadder) {
+  EXPECT_EQ(WorkerCounts(8), (std::vector<int>{1, 2, 3, 4, 6, 8}));
+  EXPECT_EQ(WorkerCounts(1), (std::vector<int>{1}));
+  EXPECT_EQ(WorkerCounts(2), (std::vector<int>{1, 2}));
+  EXPECT_EQ(WorkerCounts(6), (std::vector<int>{1, 2, 3, 4, 6}));
+  EXPECT_EQ(WorkerCounts(16),
+            (std::vector<int>{1, 2, 3, 4, 6, 8, 12, 16}));
+}
+
+}  // namespace
+}  // namespace moqo

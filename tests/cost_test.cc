@@ -1,0 +1,197 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cost/aggregation.h"
+#include "cost/cost_vector.h"
+#include "cost/metric.h"
+#include "util/rng.h"
+
+namespace moqo {
+namespace {
+
+CostVector RandomVector(Rng& rng, int dims, double lo = 0.0,
+                        double hi = 100.0) {
+  CostVector v(dims);
+  for (int i = 0; i < dims; ++i) v[i] = rng.UniformDouble(lo, hi);
+  return v;
+}
+
+TEST(CostVectorTest, ConstructionAndAccess) {
+  CostVector v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.dims(), 3);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+  v[1] = 5.0;
+  EXPECT_DOUBLE_EQ(v[1], 5.0);
+}
+
+TEST(CostVectorTest, FillConstructor) {
+  CostVector v(4, 2.5);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(v[i], 2.5);
+}
+
+TEST(CostVectorTest, InfiniteVector) {
+  CostVector inf = CostVector::Infinite(3);
+  EXPECT_FALSE(inf.IsFinite());
+  EXPECT_TRUE(inf.IsNonNegative());
+  CostVector v{1.0, 2.0, 3.0};
+  EXPECT_TRUE(v.Dominates(inf));
+  EXPECT_FALSE(inf.Dominates(v));
+}
+
+TEST(CostVectorTest, DominanceBasic) {
+  CostVector a{1.0, 2.0};
+  CostVector b{1.0, 3.0};
+  CostVector c{2.0, 1.0};
+  EXPECT_TRUE(a.Dominates(b));
+  EXPECT_TRUE(a.StrictlyDominates(b));
+  EXPECT_FALSE(b.Dominates(a));
+  EXPECT_FALSE(a.Dominates(c));
+  EXPECT_FALSE(c.Dominates(a));
+  EXPECT_TRUE(a.Dominates(a));
+  EXPECT_FALSE(a.StrictlyDominates(a));
+}
+
+TEST(CostVectorTest, ScaledMultipliesEveryComponent) {
+  CostVector v{1.0, 0.0, 4.0};
+  CostVector s = v.Scaled(2.5);
+  EXPECT_DOUBLE_EQ(s[0], 2.5);
+  EXPECT_DOUBLE_EQ(s[1], 0.0);
+  EXPECT_DOUBLE_EQ(s[2], 10.0);
+}
+
+TEST(CostVectorTest, MinMax) {
+  CostVector a{1.0, 5.0};
+  CostVector b{3.0, 2.0};
+  CostVector mn = a.Min(b);
+  CostVector mx = a.Max(b);
+  EXPECT_DOUBLE_EQ(mn[0], 1.0);
+  EXPECT_DOUBLE_EQ(mn[1], 2.0);
+  EXPECT_DOUBLE_EQ(mx[0], 3.0);
+  EXPECT_DOUBLE_EQ(mx[1], 5.0);
+}
+
+TEST(CostVectorTest, ToStringRendersComponents) {
+  CostVector v{1.5, 2.0};
+  EXPECT_EQ(v.ToString(), "[1.5, 2]");
+}
+
+// --- Property tests: dominance is a partial order. ---
+
+class DominanceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DominanceProperty, PartialOrderLaws) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const int dims = 1 + GetParam() % kMaxMetrics;
+  for (int trial = 0; trial < 200; ++trial) {
+    CostVector a = RandomVector(rng, dims);
+    CostVector b = RandomVector(rng, dims);
+    CostVector c = RandomVector(rng, dims);
+    // Reflexivity.
+    EXPECT_TRUE(a.Dominates(a));
+    // Antisymmetry.
+    if (a.Dominates(b) && b.Dominates(a)) EXPECT_TRUE(a.Equals(b));
+    // Transitivity.
+    if (a.Dominates(b) && b.Dominates(c)) EXPECT_TRUE(a.Dominates(c));
+    // Strict dominance implies dominance, never reflexive.
+    if (a.StrictlyDominates(b)) {
+      EXPECT_TRUE(a.Dominates(b));
+      EXPECT_FALSE(b.Dominates(a));
+    }
+    // Scaling by >= 1 weakens a vector.
+    const double alpha = 1.0 + rng.NextDouble();
+    EXPECT_TRUE(a.Dominates(a.Scaled(alpha)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DominanceProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// --- Metric schemas. ---
+
+TEST(MetricSchemaTest, Standard3MatchesPaperEvaluation) {
+  MetricSchema s = MetricSchema::Standard3();
+  EXPECT_EQ(s.dims(), 3);
+  EXPECT_EQ(s.metric(0), MetricId::kTime);
+  EXPECT_EQ(s.metric(1), MetricId::kCores);
+  EXPECT_EQ(s.metric(2), MetricId::kPrecisionError);
+}
+
+TEST(MetricSchemaTest, IndexOf) {
+  MetricSchema s = MetricSchema::Cloud2();
+  EXPECT_EQ(s.IndexOf(MetricId::kTime), 0);
+  EXPECT_EQ(s.IndexOf(MetricId::kFees), 1);
+  EXPECT_EQ(s.IndexOf(MetricId::kEnergy), -1);
+  EXPECT_TRUE(s.Has(MetricId::kFees));
+  EXPECT_FALSE(s.Has(MetricId::kCores));
+}
+
+TEST(MetricSchemaTest, Full6CoversAllMetrics) {
+  MetricSchema s = MetricSchema::Full6();
+  EXPECT_EQ(s.dims(), 6);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(s.Has(static_cast<MetricId>(i)));
+  }
+}
+
+TEST(MetricInfoTest, CombineKinds) {
+  EXPECT_EQ(GetMetricInfo(MetricId::kTime).combine, CombineKind::kSum);
+  EXPECT_EQ(GetMetricInfo(MetricId::kCores).combine, CombineKind::kMax);
+  EXPECT_EQ(GetMetricInfo(MetricId::kFees).combine, CombineKind::kSum);
+}
+
+// --- Aggregation terms: the PONO (paper Definition 1). ---
+
+class PonoProperty : public ::testing::TestWithParam<CombineKind> {};
+
+TEST_P(PonoProperty, NearOptimalInputsYieldNearOptimalOutput) {
+  Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    AggregationTerm term;
+    term.combine = GetParam();
+    term.scale_left = rng.UniformDouble(0.0, 3.0);
+    term.scale_right = rng.UniformDouble(0.0, 3.0);
+    term.op_cost = rng.UniformDouble(0.0, 10.0);
+    ASSERT_TRUE(IsPonoCompliant(term));
+
+    const double l = rng.UniformDouble(0.0, 100.0);
+    const double r = rng.UniformDouble(0.0, 100.0);
+    const double alpha = 1.0 + rng.NextDouble() * 2.0;
+    // Near-optimal replacements: l* <= alpha * l, r* <= alpha * r.
+    const double ls = l * rng.UniformDouble(0.0, alpha);
+    const double rs = r * rng.UniformDouble(0.0, alpha);
+    const double base = Aggregate(term, l, r);
+    const double repl = Aggregate(term, ls, rs);
+    EXPECT_LE(repl, alpha * base + 1e-9)
+        << "combine=" << static_cast<int>(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombineKinds, PonoProperty,
+                         ::testing::Values(CombineKind::kSum,
+                                           CombineKind::kMax,
+                                           CombineKind::kMin));
+
+TEST(AggregationTest, SumMaxMinValues) {
+  AggregationTerm t;
+  t.op_cost = 1.0;
+  t.combine = CombineKind::kSum;
+  EXPECT_DOUBLE_EQ(Aggregate(t, 2.0, 3.0), 6.0);
+  t.combine = CombineKind::kMax;
+  EXPECT_DOUBLE_EQ(Aggregate(t, 2.0, 3.0), 4.0);
+  t.combine = CombineKind::kMin;
+  EXPECT_DOUBLE_EQ(Aggregate(t, 2.0, 3.0), 3.0);
+}
+
+TEST(AggregationTest, NegativeParametersAreNotPonoCompliant) {
+  AggregationTerm t;
+  t.op_cost = -1.0;
+  EXPECT_FALSE(IsPonoCompliant(t));
+  t.op_cost = 0.0;
+  t.scale_left = -0.5;
+  EXPECT_FALSE(IsPonoCompliant(t));
+}
+
+}  // namespace
+}  // namespace moqo

@@ -1,0 +1,155 @@
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "catalog/tpch.h"
+#include "query/generator.h"
+#include "query/join_graph.h"
+#include "query/tpch_queries.h"
+#include "util/rng.h"
+
+namespace moqo {
+namespace {
+
+// Chain query a - b - c over a fresh catalog.
+struct ChainFixture {
+  Catalog catalog;
+  Query query;
+  ChainFixture() {
+    const TableId a = catalog.AddTable({"a", 100.0, 100.0, true});
+    const TableId b = catalog.AddTable({"b", 1000.0, 100.0, true});
+    const TableId c = catalog.AddTable({"c", 10000.0, 100.0, true});
+    QueryBuilder builder("chain");
+    const int ra = builder.AddTable(a);
+    const int rb = builder.AddTable(b, 0.1);
+    const int rc = builder.AddTable(c);
+    builder.AddJoin(ra, rb, 0.01);
+    builder.AddJoin(rb, rc, 0.001);
+    query = builder.Build();
+  }
+};
+
+TEST(JoinGraphTest, EffectiveBaseCardinalityAppliesPredicates) {
+  ChainFixture f;
+  const JoinGraph g(f.query, f.catalog);
+  EXPECT_DOUBLE_EQ(g.EffectiveBaseCardinality(0), 100.0);
+  EXPECT_DOUBLE_EQ(g.EffectiveBaseCardinality(1), 100.0);  // 1000 * 0.1
+  EXPECT_DOUBLE_EQ(g.EffectiveBaseCardinality(2), 10000.0);
+}
+
+TEST(JoinGraphTest, NeighborsFollowEdges) {
+  ChainFixture f;
+  const JoinGraph g(f.query, f.catalog);
+  EXPECT_EQ(g.Neighbors(0), TableSet::Singleton(1));
+  EXPECT_EQ(g.Neighbors(1),
+            TableSet::Singleton(0).Union(TableSet::Singleton(2)));
+  EXPECT_EQ(g.Neighbors(2), TableSet::Singleton(1));
+}
+
+TEST(JoinGraphTest, ConnectivityOnChain) {
+  ChainFixture f;
+  const JoinGraph g(f.query, f.catalog);
+  EXPECT_TRUE(g.IsConnected(TableSet(0b111)));
+  EXPECT_TRUE(g.IsConnected(TableSet(0b011)));
+  EXPECT_TRUE(g.IsConnected(TableSet(0b110)));
+  // {a, c} has no direct edge.
+  EXPECT_FALSE(g.IsConnected(TableSet(0b101)));
+  EXPECT_TRUE(g.IsConnected(TableSet::Singleton(0)));
+  EXPECT_FALSE(g.IsConnected(TableSet()));
+}
+
+TEST(JoinGraphTest, HasEdgeBetween) {
+  ChainFixture f;
+  const JoinGraph g(f.query, f.catalog);
+  EXPECT_TRUE(g.HasEdgeBetween(TableSet(0b001), TableSet(0b010)));
+  EXPECT_FALSE(g.HasEdgeBetween(TableSet(0b001), TableSet(0b100)));
+  EXPECT_TRUE(g.HasEdgeBetween(TableSet(0b011), TableSet(0b100)));
+}
+
+TEST(JoinGraphTest, SelectivityBetweenMultipliesCrossingEdges) {
+  ChainFixture f;
+  const JoinGraph g(f.query, f.catalog);
+  EXPECT_DOUBLE_EQ(g.SelectivityBetween(TableSet(0b001), TableSet(0b010)),
+                   0.01);
+  EXPECT_DOUBLE_EQ(g.SelectivityBetween(TableSet(0b001), TableSet(0b100)),
+                   1.0);  // No crossing edge: cross product.
+  // Splitting {a,c} vs {b} crosses both edges.
+  EXPECT_DOUBLE_EQ(g.SelectivityBetween(TableSet(0b101), TableSet(0b010)),
+                   0.01 * 0.001);
+}
+
+TEST(JoinGraphTest, CardinalityEstimates) {
+  ChainFixture f;
+  const JoinGraph g(f.query, f.catalog);
+  // |a ⋈ b| = 100 * 100 * 0.01 = 100.
+  EXPECT_DOUBLE_EQ(g.EstimateCardinality(TableSet(0b011)), 100.0);
+  // |a ⋈ b ⋈ c| = 100 * 100 * 10000 * 0.01 * 0.001.
+  EXPECT_DOUBLE_EQ(g.EstimateCardinality(TableSet(0b111)), 1000.0);
+  // Clamped below at one row.
+  EXPECT_GE(g.EstimateCardinality(TableSet(0b001)), 1.0);
+}
+
+TEST(JoinGraphTest, CardinalityConsistentAcrossSplits) {
+  // |q| estimated directly equals |q1| * |q2| * sel(q1, q2): the DP's
+  // incremental cardinality computation is order-independent.
+  const Catalog catalog = MakeTpchCatalog();
+  for (const Query& q : TpchQueryBlocks(catalog)) {
+    const JoinGraph g(q, catalog);
+    const TableSet all = q.AllTables();
+    for (SubsetIter split(all); !split.Done(); split.Next()) {
+      const TableSet q1 = split.Subset();
+      const TableSet q2 = split.Complement();
+      if (!g.IsConnected(q1) || !g.IsConnected(q2)) continue;
+      const double direct = g.EstimateCardinality(all);
+      const double composed = g.EstimateCardinality(q1) *
+                              g.EstimateCardinality(q2) *
+                              g.SelectivityBetween(q1, q2);
+      // Clamping at 1 row can make the composed value differ; allow it.
+      if (g.EstimateCardinality(q1) > 1.0 &&
+          g.EstimateCardinality(q2) > 1.0 && direct > 1.0) {
+        EXPECT_NEAR(composed / direct, 1.0, 1e-9) << q.name;
+      }
+    }
+  }
+}
+
+TEST(JoinGraphTest, RandomQueriesConnectivityMatchesUnionFind) {
+  // Property: IsConnected agrees with a brute-force union-find over the
+  // induced subgraph, for random graphs and random subsets.
+  Rng rng(123);
+  for (int trial = 0; trial < 30; ++trial) {
+    Catalog catalog;
+    GeneratorOptions options;
+    options.num_tables = 2 + static_cast<int>(rng.Uniform(6));
+    options.topology = Topology::kRandomTree;
+    const Query q = RandomQuery(rng, options, &catalog);
+    const JoinGraph g(q, catalog);
+    const int n = q.NumTables();
+    for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+      const TableSet set(mask);
+      // Union-find.
+      std::vector<int> parent(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) parent[static_cast<size_t>(i)] = i;
+      std::function<int(int)> find = [&](int x) {
+        while (parent[static_cast<size_t>(x)] != x) {
+          x = parent[static_cast<size_t>(x)];
+        }
+        return x;
+      };
+      for (const JoinPredicate& j : q.joins) {
+        if (set.Contains(j.left) && set.Contains(j.right)) {
+          parent[static_cast<size_t>(find(j.left))] = find(j.right);
+        }
+      }
+      int roots = 0;
+      for (TableIter it(set); !it.Done(); it.Next()) {
+        if (find(it.Table()) == it.Table()) ++roots;
+      }
+      EXPECT_EQ(g.IsConnected(set), roots == 1) << "mask=" << mask;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace moqo

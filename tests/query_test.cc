@@ -1,0 +1,161 @@
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "catalog/tpch.h"
+#include "query/generator.h"
+#include "query/join_graph.h"
+#include "query/query.h"
+#include "query/tpch_queries.h"
+
+namespace moqo {
+namespace {
+
+TEST(QueryBuilderTest, BuildsTablesAndJoins) {
+  Catalog catalog;
+  const TableId a = catalog.AddTable({"a", 100.0, 100.0, true});
+  const TableId b = catalog.AddTable({"b", 1000.0, 100.0, true});
+  QueryBuilder builder("q");
+  const int ra = builder.AddTable(a, 0.5, "a");
+  const int rb = builder.AddTable(b);
+  builder.AddJoin(ra, rb, 0.01);
+  const Query q = builder.Build();
+  EXPECT_EQ(q.name, "q");
+  EXPECT_EQ(q.NumTables(), 2);
+  EXPECT_DOUBLE_EQ(q.tables[0].predicate_selectivity, 0.5);
+  ASSERT_EQ(q.joins.size(), 1u);
+  EXPECT_DOUBLE_EQ(q.joins[0].selectivity, 0.01);
+  EXPECT_TRUE(ValidateQuery(q, catalog).ok());
+}
+
+TEST(QueryBuilderTest, FkJoinSelectivityIsInversePkCardinality) {
+  Catalog catalog;
+  const TableId fk = catalog.AddTable({"fact", 10000.0, 100.0, true});
+  const TableId pk = catalog.AddTable({"dim", 200.0, 100.0, true});
+  QueryBuilder builder("q");
+  const int rf = builder.AddTable(fk);
+  const int rp = builder.AddTable(pk);
+  builder.AddFkJoin(catalog, rf, rp);
+  const Query q = builder.Build();
+  EXPECT_DOUBLE_EQ(q.joins[0].selectivity, 1.0 / 200.0);
+}
+
+TEST(ValidateQueryTest, RejectsBadInput) {
+  Catalog catalog;
+  catalog.AddTable({"a", 100.0, 100.0, true});
+
+  Query empty;
+  EXPECT_FALSE(ValidateQuery(empty, catalog).ok());
+
+  QueryBuilder b1("bad_table");
+  b1.AddTable(5);  // Out of range.
+  EXPECT_FALSE(ValidateQuery(b1.Build(), catalog).ok());
+
+  QueryBuilder b2("bad_selectivity");
+  b2.AddTable(0, 0.0);  // Selectivity must be > 0.
+  EXPECT_FALSE(ValidateQuery(b2.Build(), catalog).ok());
+
+  QueryBuilder b3("self_join_predicate");
+  const int r = b3.AddTable(0);
+  b3.AddJoin(r, r, 0.5);
+  EXPECT_FALSE(ValidateQuery(b3.Build(), catalog).ok());
+}
+
+TEST(TpchQueriesTest, AllBlocksValidate) {
+  const Catalog catalog = MakeTpchCatalog();
+  for (const Query& q : TpchQueryBlocks(catalog)) {
+    EXPECT_TRUE(ValidateQuery(q, catalog).ok()) << q.name;
+    EXPECT_GE(q.joins.size(), 1u) << q.name;  // At least one join.
+  }
+}
+
+TEST(TpchQueriesTest, TableCountsMatchPaper) {
+  // The paper evaluates on sub-queries joining 2..6 and 8 tables; no
+  // TPC-H sub-query joins seven tables (paper §6.2).
+  const Catalog catalog = MakeTpchCatalog();
+  EXPECT_EQ(TpchBlockTableCounts(catalog),
+            (std::vector<int>{2, 3, 4, 5, 6, 8}));
+  EXPECT_TRUE(TpchBlocksWithTables(catalog, 7).empty());
+  EXPECT_EQ(TpchBlocksWithTables(catalog, 8).size(), 1u);  // Q8.
+}
+
+TEST(TpchQueriesTest, AllBlocksAreConnected) {
+  const Catalog catalog = MakeTpchCatalog();
+  for (const Query& q : TpchQueryBlocks(catalog)) {
+    const JoinGraph graph(q, catalog);
+    EXPECT_TRUE(graph.IsConnected(q.AllTables())) << q.name;
+  }
+}
+
+TEST(TpchQueriesTest, Q8JoinsEightTablesWithSmallTables) {
+  const Catalog catalog = MakeTpchCatalog();
+  const auto blocks = TpchBlocksWithTables(catalog, 8);
+  ASSERT_EQ(blocks.size(), 1u);
+  const Query& q8 = blocks[0];
+  // Q8 references nation twice and region once: small tables that limit
+  // the number of applicable sampling strategies (paper footnote 4).
+  int small_tables = 0;
+  for (const TableRef& ref : q8.tables) {
+    if (catalog.Get(ref.table).cardinality <= 25.0) ++small_tables;
+  }
+  EXPECT_EQ(small_tables, 3);
+}
+
+class GeneratorTopologyTest : public ::testing::TestWithParam<Topology> {};
+
+TEST_P(GeneratorTopologyTest, GeneratesValidConnectedQueries) {
+  for (int n : {1, 2, 3, 5, 8}) {
+    Rng rng(static_cast<uint64_t>(n) * 17 + 1);
+    Catalog catalog;
+    GeneratorOptions options;
+    options.num_tables = n;
+    options.topology = GetParam();
+    const Query q = RandomQuery(rng, options, &catalog);
+    EXPECT_EQ(q.NumTables(), n);
+    EXPECT_TRUE(ValidateQuery(q, catalog).ok());
+    const JoinGraph graph(q, catalog);
+    EXPECT_TRUE(graph.IsConnected(q.AllTables()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, GeneratorTopologyTest,
+                         ::testing::Values(Topology::kChain, Topology::kStar,
+                                           Topology::kCycle,
+                                           Topology::kClique,
+                                           Topology::kRandomTree));
+
+TEST(GeneratorTest, DeterministicGivenSameRngState) {
+  GeneratorOptions options;
+  options.num_tables = 4;
+  Catalog c1, c2;
+  Rng r1(5), r2(5);
+  const Query q1 = RandomQuery(r1, options, &c1);
+  const Query q2 = RandomQuery(r2, options, &c2);
+  ASSERT_EQ(q1.NumTables(), q2.NumTables());
+  for (int i = 0; i < q1.NumTables(); ++i) {
+    EXPECT_DOUBLE_EQ(c1.Get(q1.tables[i].table).cardinality,
+                     c2.Get(q2.tables[i].table).cardinality);
+  }
+  ASSERT_EQ(q1.joins.size(), q2.joins.size());
+  for (size_t i = 0; i < q1.joins.size(); ++i) {
+    EXPECT_DOUBLE_EQ(q1.joins[i].selectivity, q2.joins[i].selectivity);
+  }
+}
+
+TEST(GeneratorTest, CardinalitiesWithinConfiguredRange) {
+  GeneratorOptions options;
+  options.num_tables = 6;
+  options.min_cardinality = 500.0;
+  options.max_cardinality = 2000.0;
+  Rng rng(9);
+  Catalog catalog;
+  const Query q = RandomQuery(rng, options, &catalog);
+  for (const TableRef& ref : q.tables) {
+    EXPECT_GE(catalog.Get(ref.table).cardinality, 499.0);
+    EXPECT_LE(catalog.Get(ref.table).cardinality, 2000.0);
+  }
+}
+
+}  // namespace
+}  // namespace moqo
