@@ -17,13 +17,16 @@ namespace moqo {
 
 class MemorylessDriver {
  public:
-  MemorylessDriver(const PlanFactory& factory, ResolutionSchedule schedule)
-      : factory_(factory), schedule_(schedule) {}
+  // `pool`, when non-null, parallelizes each invocation's enumeration
+  // (see RunOneShot); it must outlive the driver.
+  MemorylessDriver(const PlanFactory& factory, ResolutionSchedule schedule,
+                   ThreadPool* pool = nullptr)
+      : factory_(factory), schedule_(schedule), pool_(pool) {}
 
   // Runs one invocation for resolution level r (from scratch) and returns
   // its full result. Bounds semantics match IAMA's optimizer invocation.
   OneShotResult RunInvocation(int r, const CostVector& bounds) const {
-    return RunOneShot(factory_, schedule_.Alpha(r), bounds);
+    return RunOneShot(factory_, schedule_.Alpha(r), bounds, pool_);
   }
 
   const ResolutionSchedule& schedule() const { return schedule_; }
@@ -31,6 +34,7 @@ class MemorylessDriver {
  private:
   const PlanFactory& factory_;
   ResolutionSchedule schedule_;
+  ThreadPool* pool_;
 };
 
 }  // namespace moqo

@@ -20,6 +20,7 @@
 #include "plan/arena.h"
 #include "plan/cost_model.h"
 #include "util/table_set.h"
+#include "util/thread_pool.h"
 
 namespace moqo {
 
@@ -38,9 +39,13 @@ struct OneShotResult {
 };
 
 // Runs the one-shot DP with precision factor `alpha` (>= 1; 1 = exact
-// dominance pruning) and cost bounds `bounds`.
+// dominance pruning) and cost bounds `bounds`. When `pool` is non-null,
+// each cardinality level's table sets are enumerated in parallel on it
+// (same shard / barrier / ordered-merge scheme as the incremental
+// optimizer's phase 2, and the same results as the serial run).
 OneShotResult RunOneShot(const PlanFactory& factory, double alpha,
-                         const CostVector& bounds);
+                         const CostVector& bounds,
+                         ThreadPool* pool = nullptr);
 
 }  // namespace moqo
 

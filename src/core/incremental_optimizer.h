@@ -15,6 +15,8 @@
 #ifndef MOQO_CORE_INCREMENTAL_OPTIMIZER_H_
 #define MOQO_CORE_INCREMENTAL_OPTIMIZER_H_
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/counters.h"
@@ -25,6 +27,7 @@
 #include "index/plan_set.h"
 #include "plan/arena.h"
 #include "plan/cost_model.h"
+#include "util/thread_pool.h"
 
 namespace moqo {
 
@@ -52,6 +55,28 @@ struct OptimizerOptions {
   // guarantees are order-independent, so this is purely a performance
   // lever (ablated in bench_prune_design).
   bool sorted_pruning = true;
+  // Number of threads used by phase 2 (fresh plan generation). 1 (the
+  // default) runs the exact legacy single-threaded code path.
+  //
+  // The parallel engine shards the connected table subsets of each
+  // cardinality level k across a fixed pool of workers and joins them at a
+  // per-level barrier, preserving the bottom-up dependency on levels < k.
+  // Workers are pure readers: the sub-plan sets each level consumes are
+  // collected once on the main thread before the level is dispatched, and
+  // workers only probe IsFresh and buffer (left, right, operator, cost)
+  // tuples thread-locally. After the barrier the buffers are merged on
+  // the main thread in the canonical table-set order — appending to the
+  // plan arena, marking fresh pairs, and pruning each subset's batch in
+  // sorted cost order — so CellIndex, PlanSetTable, PlanArena, and
+  // FreshPairRegistry stay single-writer and lock-free, and the result
+  // frontiers are bit-identical to the num_threads=1 run (Theorems 1-2
+  // are untouched; parallel_optimizer_test asserts the equivalence).
+  int num_threads = 1;
+  // Optional externally owned pool. When set it is used instead of
+  // spawning num_threads workers — callers can share one pool across
+  // optimizers (or keep thread spawning out of timed regions). Must
+  // outlive the optimizer; only the optimizer's thread may Optimize.
+  ThreadPool* pool = nullptr;
 };
 
 class IncrementalOptimizer {
@@ -93,9 +118,38 @@ class IncrementalOptimizer {
   size_t NumCandidateEntries() const { return cand_.TotalSize(); }
 
  private:
+  // One join alternative of a fresh sub-plan pair, produced by a phase-2
+  // worker; turned into an arena plan during the post-barrier merge.
+  struct PendingJoin {
+    uint32_t left = 0;
+    uint32_t right = 0;
+    OperatorDesc op;
+    OpCost op_cost;
+  };
+
+  // Thread-local output of one worker for one table set.
+  struct EnumerationBuffer {
+    std::vector<std::pair<uint32_t, uint32_t>> fresh_pairs;
+    std::vector<PendingJoin> joins;
+    uint64_t stale_pairs = 0;
+  };
+
   // Runs Prune for a plan of table set q.
   void PrunePlan(TableSet q, uint32_t plan_id, const CostVector& cost,
                  int order, const CostVector& bounds, int resolution);
+
+  // Phase 2 (Algorithm 2 lines 13-22): single-threaded reference path and
+  // the sharded merge-after-barrier path selected by options_.num_threads.
+  void Phase2Serial(const CostVector& bounds, int resolution);
+  void Phase2Parallel(const CostVector& bounds, int resolution);
+
+  // Worker body of the parallel phase 2: enumerates the fresh sub-plan
+  // pairs of table set q against the pre-collected sub-plan sets and
+  // buffers their join alternatives. Read-only on all shared state.
+  void EnumerateFreshPairs(
+      TableSet q,
+      const std::vector<std::vector<CellIndex::Collected>>& collected,
+      EnumerationBuffer* out) const;
 
   const PlanFactory& factory_;
   ResolutionSchedule schedule_;
@@ -111,6 +165,13 @@ class IncrementalOptimizer {
   bool first_optimize_done_ = false;
   // All connected table subsets, grouped by cardinality (precomputed).
   std::vector<std::vector<TableSet>> connected_by_size_;
+  // Worker pool for the parallel phase 2: the external options_.pool if
+  // given, else owned_pool_; null when running single-threaded.
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;
+  // Per-invocation cache of Collect() results by table-set mask, reused
+  // across Phase2Parallel calls to avoid re-allocating 2^n vectors.
+  std::vector<std::vector<CellIndex::Collected>> collected_;
 };
 
 }  // namespace moqo

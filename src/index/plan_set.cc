@@ -3,7 +3,10 @@
 namespace moqo {
 
 PlanSetTable::PlanSetTable(int num_tables, int dims, double gamma)
-    : num_tables_(num_tables), dims_(dims), gamma_(gamma) {
+    : num_tables_(num_tables),
+      dims_(dims),
+      gamma_(gamma),
+      empty_(dims, gamma) {
   MOQO_CHECK(num_tables >= 1 && num_tables <= kMaxTables);
   sets_.resize(size_t{1} << num_tables);
 }
@@ -17,9 +20,8 @@ CellIndex& PlanSetTable::For(TableSet q) {
 
 const CellIndex& PlanSetTable::For(TableSet q) const {
   MOQO_CHECK(q.mask() < sets_.size());
-  std::unique_ptr<CellIndex>& slot = sets_[q.mask()];
-  if (slot == nullptr) slot = std::make_unique<CellIndex>(dims_, gamma_);
-  return *slot;
+  const std::unique_ptr<CellIndex>& slot = sets_[q.mask()];
+  return slot == nullptr ? empty_ : *slot;
 }
 
 size_t PlanSetTable::TotalSize() const {

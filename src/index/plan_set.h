@@ -19,7 +19,11 @@ class PlanSetTable {
   // `num_tables` tables in the query, `dims` cost metrics.
   PlanSetTable(int num_tables, int dims, double gamma = 2.0);
 
+  // Lazily creates the set on first touch. Single-writer: only the
+  // optimizer's main thread may call the non-const overload.
   CellIndex& For(TableSet q);
+  // Const-safe for concurrent readers: never allocates; untouched sets
+  // alias a shared empty index (same dims/gamma, zero entries).
   const CellIndex& For(TableSet q) const;
 
   // Total number of indexed plans across all table sets.
@@ -31,8 +35,11 @@ class PlanSetTable {
   int num_tables_;
   int dims_;
   double gamma_;
+  // Returned by the const accessor for sets that were never touched, so
+  // concurrent const reads never mutate the table.
+  CellIndex empty_;
   // Index 0 (empty set) is unused but kept for direct mask addressing.
-  mutable std::vector<std::unique_ptr<CellIndex>> sets_;
+  std::vector<std::unique_ptr<CellIndex>> sets_;
 };
 
 }  // namespace moqo

@@ -6,12 +6,36 @@
 #ifndef MOQO_UTIL_TABLE_SET_H_
 #define MOQO_UTIL_TABLE_SET_H_
 
-#include <bit>
 #include <cstdint>
 
 #include "util/common.h"
 
 namespace moqo {
+
+// C++17-compatible popcount / count-trailing-zeros (std::popcount and
+// std::countr_zero are C++20).
+constexpr int PopCount32(uint32_t x) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_popcount(x);
+#else
+  int count = 0;
+  while (x != 0) {
+    x &= x - 1;
+    ++count;
+  }
+  return count;
+#endif
+}
+
+constexpr int CountTrailingZeros32(uint32_t x) {
+#if defined(__GNUC__) || defined(__clang__)
+  return x == 0 ? 32 : __builtin_ctz(x);
+#else
+  int count = 0;
+  while (count < 32 && ((x >> count) & 1u) == 0) ++count;
+  return count;
+#endif
+}
 
 // Maximum number of tables in a single query block. TPC-H query blocks
 // join at most 8 tables; 16 leaves headroom for synthetic workloads.
@@ -35,7 +59,7 @@ class TableSet {
 
   constexpr uint32_t mask() const { return mask_; }
   constexpr bool Empty() const { return mask_ == 0; }
-  constexpr int Count() const { return std::popcount(mask_); }
+  constexpr int Count() const { return PopCount32(mask_); }
   constexpr bool Contains(int table) const {
     return (mask_ >> table) & 1u;
   }
@@ -57,7 +81,7 @@ class TableSet {
   // Index of the lowest table in the set; undefined on the empty set.
   int Lowest() const {
     MOQO_CHECK(mask_ != 0);
-    return std::countr_zero(mask_);
+    return CountTrailingZeros32(mask_);
   }
 
   friend constexpr bool operator==(TableSet a, TableSet b) {
@@ -77,7 +101,7 @@ class TableIter {
  public:
   explicit TableIter(TableSet set) : remaining_(set.mask()) {}
   bool Done() const { return remaining_ == 0; }
-  int Table() const { return std::countr_zero(remaining_); }
+  int Table() const { return CountTrailingZeros32(remaining_); }
   void Next() { remaining_ &= remaining_ - 1; }
 
  private:

@@ -1,0 +1,85 @@
+#include "util/thread_pool.h"
+
+#include "util/common.h"
+
+namespace moqo {
+
+ThreadPool::ThreadPool(int threads) {
+  MOQO_CHECK(threads >= 1);
+  workers_.reserve(static_cast<size_t>(threads - 1));
+  for (int i = 0; i < threads - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& fn) {
+  // n == 1 (common: the full-set level of every invocation) would make a
+  // pool wakeup pure overhead — run such jobs on the calling thread.
+  if (n <= 1 || workers_.empty()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    active_ = static_cast<int>(workers_.size());
+    ++job_id_;
+  }
+  work_cv_.notify_all();
+  // Honor the barrier even if fn throws on the calling thread: workers
+  // may still be inside fn, so unwinding past them would destroy the
+  // closure (and whatever it captures) under their feet.
+  struct BarrierGuard {
+    ThreadPool* pool;
+    ~BarrierGuard() {
+      std::unique_lock<std::mutex> lock(pool->mu_);
+      pool->done_cv_.wait(lock, [p = pool] { return p->active_ == 0; });
+      pool->fn_ = nullptr;
+    }
+  } guard{this};
+  // The calling thread is a full participant.
+  for (size_t i = next_.fetch_add(1, std::memory_order_relaxed); i < n;
+       i = next_.fetch_add(1, std::memory_order_relaxed)) {
+    fn(i);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(size_t)>* fn;
+    size_t n;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || job_id_ != seen; });
+      if (stop_) return;
+      seen = job_id_;
+      fn = fn_;
+      n = n_;
+    }
+    for (size_t i = next_.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next_.fetch_add(1, std::memory_order_relaxed)) {
+      (*fn)(i);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (active_ > 0) continue;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace moqo

@@ -1,0 +1,68 @@
+// Fixed-size worker pool with a blocking parallel-for.
+//
+// The optimizer's parallel phase 2 processes the connected table subsets
+// of one cardinality level concurrently and must not start level k+1
+// before every level-k subset is finished (the bottom-up DP dependency).
+// ParallelFor provides exactly that: it distributes indices [0, n) over
+// the pool plus the calling thread via an atomic work counter and returns
+// only when all indices are done — each call is one barrier.
+//
+// The pool spawns its threads once and keeps them parked on a condition
+// variable between calls, so per-level dispatch costs are a wakeup, not a
+// thread spawn.
+#ifndef MOQO_UTIL_THREAD_POOL_H_
+#define MOQO_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace moqo {
+
+class ThreadPool {
+ public:
+  // A pool of `threads` total workers: `threads - 1` spawned threads plus
+  // the thread calling ParallelFor. `threads` must be >= 1; a pool of 1
+  // spawns nothing and ParallelFor degenerates to a serial loop.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Invokes fn(i) for every i in [0, n), distributing indices dynamically
+  // across all workers. Returns when every invocation has completed (the
+  // barrier). `fn` must be safe to call concurrently from several threads
+  // for distinct indices. Must not be called reentrantly from inside `fn`.
+  // `fn` should not throw: a throw on a pool thread terminates the
+  // process (std::thread semantics); a throw on the calling thread still
+  // waits out the barrier before propagating.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  // Current job; published under mu_ and only dereferenced by workers
+  // between the job_id_ bump and their active_ decrement, while the
+  // ParallelFor caller keeps the function alive.
+  const std::function<void(size_t)>* fn_ = nullptr;
+  size_t n_ = 0;
+  std::atomic<size_t> next_{0};
+  int active_ = 0;       // Spawned workers still draining the current job.
+  uint64_t job_id_ = 0;  // Incremented once per ParallelFor call.
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_UTIL_THREAD_POOL_H_
