@@ -21,6 +21,7 @@
 #include "core/resolution.h"
 #include "plan/cost_model.h"
 #include "query/tpch_queries.h"
+#include "util/stats.h"
 #include "util/thread_pool.h"
 
 namespace moqo {
@@ -29,10 +30,7 @@ namespace bench {
 class Timer {
  public:
   Timer() : start_(std::chrono::steady_clock::now()) {}
-  double ElapsedMs() const {
-    const auto now = std::chrono::steady_clock::now();
-    return std::chrono::duration<double, std::milli>(now - start_).count();
-  }
+  double ElapsedMs() const { return MillisSince(start_); }
 
  private:
   std::chrono::steady_clock::time_point start_;

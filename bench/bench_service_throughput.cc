@@ -1,0 +1,131 @@
+// bench_service_throughput — service-level scaling study: queries/sec and
+// p99 time-to-first-frontier as functions of the number of in-flight
+// queries and the shared pool's thread count.
+//
+// The workload mixes TPC-H join blocks (2-6 tables) with random-topology
+// queries; each configuration replays the same query list in waves of
+// `inflight` concurrently admitted sessions. The frontier cache is
+// disabled so every wave pays full optimization cost.
+//
+// Output rows:
+//   threads  inflight  queries  wall_s  qps  ttff_p50_ms  ttff_p99_ms
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "catalog/tpch.h"
+#include "query/generator.h"
+#include "query/tpch_queries.h"
+#include "service/optimizer_service.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace moqo {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Keeps enumeration per query moderate so a full sweep of configurations
+// stays laptop-scale while the pool still has real work per step.
+OperatorOptions ServiceBenchOperatorOptions() {
+  OperatorOptions options;
+  options.max_workers = 8;
+  options.max_sampling_rates_per_table = 2;
+  return options;
+}
+
+struct ConfigResult {
+  double wall_s = 0.0;
+  std::vector<double> ttff_ms;
+  size_t queries = 0;
+};
+
+ConfigResult RunConfig(const Catalog& catalog,
+                       const std::vector<Query>& workload, int threads,
+                       size_t inflight) {
+  ServiceOptions service_options;
+  service_options.num_threads = threads;
+  service_options.frontier_cache_capacity = 0;  // Measure real work.
+  service_options.operator_options = ServiceBenchOperatorOptions();
+  OptimizerService service(catalog, service_options);
+
+  SubmitOptions submit;
+  submit.iama.schedule = ResolutionSchedule::Moderate(5);
+
+  ConfigResult result;
+  const Clock::time_point wall_start = Clock::now();
+  for (size_t base = 0; base < workload.size(); base += inflight) {
+    const size_t wave_end = std::min(base + inflight, workload.size());
+    struct Track {
+      QueryId id;
+      std::shared_ptr<std::atomic<double>> ttff;
+    };
+    std::vector<Track> wave;
+    for (size_t i = base; i < wave_end; ++i) {
+      auto ttff = std::make_shared<std::atomic<double>>(-1.0);
+      auto first = std::make_shared<std::atomic<bool>>(false);
+      const Clock::time_point submitted = Clock::now();
+      StatusOr<QueryId> id = service.Submit(
+          workload[i], submit,
+          [ttff, first, submitted](QueryId, const FrontierSnapshot&) {
+            if (!first->exchange(true)) {
+              ttff->store(MillisSince(submitted));
+            }
+          });
+      MOQO_CHECK(id.ok());
+      wave.push_back({id.value(), ttff});
+    }
+    for (const Track& t : wave) {
+      const QueryResult r = service.Wait(t.id);
+      MOQO_CHECK(r.state == QueryState::kDone);
+      ++result.queries;
+      result.ttff_ms.push_back(t.ttff->load());
+    }
+  }
+  result.wall_s = MillisSince(wall_start) / 1000.0;
+  return result;
+}
+
+}  // namespace
+}  // namespace moqo
+
+int main() {
+  using namespace moqo;
+
+  Catalog catalog = MakeTpchCatalog();
+  std::vector<Query> workload;
+  for (const Query& q : TpchQueryBlocks(catalog)) {
+    if (q.NumTables() <= 6) workload.push_back(q);
+  }
+  Rng rng(77);
+  const Topology topologies[] = {Topology::kChain, Topology::kStar,
+                                 Topology::kCycle, Topology::kRandomTree};
+  for (int i = 0; i < 8; ++i) {
+    GeneratorOptions gen;
+    gen.num_tables = 5;
+    gen.topology = topologies[i % 4];
+    Query q = RandomQuery(rng, gen, &catalog);
+    q.name = "rand" + std::to_string(i);
+    workload.push_back(std::move(q));
+  }
+
+  std::printf("# service throughput: %zu queries per configuration\n",
+              workload.size());
+  std::printf("%8s %9s %8s %8s %8s %12s %12s\n", "threads", "inflight",
+              "queries", "wall_s", "qps", "ttff_p50_ms", "ttff_p99_ms");
+  const int thread_counts[] = {1, 2, 4, 8};
+  const size_t inflights[] = {1, 8, 16};
+  for (int threads : thread_counts) {
+    for (size_t inflight : inflights) {
+      const ConfigResult r = RunConfig(catalog, workload, threads, inflight);
+      std::printf("%8d %9zu %8zu %8.3f %8.2f %12.3f %12.3f\n", threads,
+                  inflight, r.queries, r.wall_s,
+                  r.wall_s > 0.0 ? r.queries / r.wall_s : 0.0,
+                  Percentile(r.ttff_ms, 0.50), Percentile(r.ttff_ms, 0.99));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,183 @@
+// workload_server — replays a mixed multi-query stream through the
+// OptimizerService: every TPC-H join block plus a batch of random-topology
+// queries, all optimized concurrently on one shared worker pool.
+//
+// Usage:
+//   ./build/workload_server [--threads N] [--random N] [--repeat N]
+//                           [--deadline-ms D]
+//
+//   --threads N      shared pool size (default 4)
+//   --random N       number of random-topology queries mixed in (default 8)
+//   --repeat N       how many times the stream is replayed (default 2);
+//                    replays after the first are served from the frontier
+//                    cache
+//   --deadline-ms D  per-query deadline (default: none)
+//
+// Prints one line per finished query (state, iterations, frontier size,
+// time to first frontier) and a summary with queries/sec, p50/p99
+// time-to-first-frontier, and cache hits.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/tpch.h"
+#include "query/generator.h"
+#include "query/tpch_queries.h"
+#include "service/optimizer_service.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+using namespace moqo;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Per-query record shared with the snapshot observer: the observer runs
+// on the service's scheduler thread (or inside Submit on a cache hit).
+struct Track {
+  std::string name;
+  Clock::time_point submitted;
+  std::atomic<bool> first_seen{false};
+  std::atomic<double> ttff_ms{0.0};  // Time to first frontier.
+  QueryId id = kInvalidQueryId;
+};
+
+const char* StateName(QueryState s) {
+  switch (s) {
+    case QueryState::kQueued: return "queued";
+    case QueryState::kDone: return "done";
+    case QueryState::kCancelled: return "cancelled";
+    case QueryState::kExpired: return "expired";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int threads = 4;
+  int num_random = 8;
+  int repeat = 2;
+  double deadline_ms = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_next = i + 1 < argc;
+    if (arg == "--threads" && has_next) {
+      threads = std::atoi(argv[++i]);
+    } else if (arg == "--random" && has_next) {
+      num_random = std::atoi(argv[++i]);
+    } else if (arg == "--repeat" && has_next) {
+      repeat = std::atoi(argv[++i]);
+    } else if (arg == "--deadline-ms" && has_next) {
+      deadline_ms = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: workload_server [--threads N] [--random N] "
+                   "[--repeat N] [--deadline-ms D]\n");
+      return 1;
+    }
+  }
+  if (threads < 1 || num_random < 0 || repeat < 1 || deadline_ms < 0.0) {
+    std::fprintf(stderr, "invalid flag value\n");
+    return 1;
+  }
+
+  // Build the whole workload before the service starts: the service reads
+  // the catalog concurrently, and RandomQuery appends tables to it.
+  Catalog catalog = MakeTpchCatalog();
+  std::vector<Query> stream = TpchQueryBlocks(catalog);
+  Rng rng(2015);
+  const Topology topologies[] = {Topology::kChain, Topology::kStar,
+                                 Topology::kCycle, Topology::kRandomTree};
+  for (int i = 0; i < num_random; ++i) {
+    GeneratorOptions gen;
+    gen.num_tables = 4 + static_cast<int>(rng.UniformInt(0, 2));
+    gen.topology = topologies[i % 4];
+    Query q = RandomQuery(rng, gen, &catalog);
+    q.name = "rand" + std::to_string(i);
+    stream.push_back(std::move(q));
+  }
+
+  ServiceOptions service_options;
+  service_options.num_threads = threads;
+  OptimizerService service(catalog, service_options);
+
+  SubmitOptions submit;
+  submit.iama.schedule = ResolutionSchedule::Moderate(5);
+  submit.deadline_ms = deadline_ms;
+
+  std::printf("workload_server: %zu queries x %d replays, %d threads, "
+              "deadline %s\n\n",
+              stream.size(), repeat, threads,
+              deadline_ms > 0.0
+                  ? (std::to_string(deadline_ms) + " ms").c_str()
+                  : "none");
+
+  std::printf("%-10s %-10s %6s %6s %10s %8s\n", "query", "state", "iters",
+              "plans", "ttff_ms", "cached");
+  std::vector<double> ttffs;
+  size_t total_queries = 0;
+  const Clock::time_point wall_start = Clock::now();
+  // Each round replays the full stream concurrently; the round barrier
+  // lets later rounds hit the frontier cache (the cache fills when a
+  // session completes — in-flight duplicates are not coalesced).
+  for (int round = 0; round < repeat; ++round) {
+    std::vector<std::unique_ptr<Track>> tracks;
+    for (const Query& query : stream) {
+      auto track = std::make_unique<Track>();
+      track->name = query.name;
+      track->submitted = Clock::now();
+      Track* t = track.get();
+      StatusOr<QueryId> id = service.Submit(
+          query, submit, [t](QueryId, const FrontierSnapshot&) {
+            if (!t->first_seen.exchange(true)) {
+              t->ttff_ms.store(MillisSince(t->submitted));
+            }
+          });
+      if (!id.ok()) {
+        std::fprintf(stderr, "submit %s failed: %s\n", query.name.c_str(),
+                     id.status().ToString().c_str());
+        continue;
+      }
+      track->id = id.value();
+      tracks.push_back(std::move(track));
+    }
+    for (const auto& t : tracks) {
+      const QueryResult result = service.Wait(t->id);
+      ++total_queries;
+      char ttff_text[32] = "-";  // No frontier (e.g. expired unstarted).
+      if (t->first_seen.load()) {
+        const double ttff = t->ttff_ms.load();
+        ttffs.push_back(ttff);  // Only real frontiers enter the stats.
+        std::snprintf(ttff_text, sizeof(ttff_text), "%.3f", ttff);
+      }
+      std::printf("%-10s %-10s %6d %6zu %10s %8s\n", t->name.c_str(),
+                  StateName(result.state), result.iterations,
+                  result.frontier.plans.size(), ttff_text,
+                  result.from_cache ? "yes" : "no");
+    }
+  }
+  const double wall_s = MillisSince(wall_start) / 1000.0;
+
+  const ServiceStats stats = service.stats();
+  std::printf("\n%zu queries in %.3f s = %.1f queries/sec\n", total_queries,
+              wall_s,
+              total_queries == 0 ? 0.0 : total_queries / wall_s);
+  std::printf("time to first frontier (%zu with frontiers): p50 %.3f ms, "
+              "p99 %.3f ms\n",
+              ttffs.size(), Percentile(ttffs, 0.50),
+              Percentile(ttffs, 0.99));
+  std::printf("steps %llu, completed %llu, expired %llu, cache hits %llu\n",
+              static_cast<unsigned long long>(stats.steps_executed),
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.expired),
+              static_cast<unsigned long long>(stats.cache_hits));
+  return 0;
+}

@@ -7,8 +7,15 @@ namespace {
 
 CostVector InitialBounds(const PlanFactory& factory,
                          const IamaOptions& options) {
-  if (options.initial_bounds.has_value()) return *options.initial_bounds;
-  return CostVector::Infinite(factory.cost_model().schema().dims());
+  const int dims = factory.cost_model().schema().dims();
+  if (options.initial_bounds.has_value()) {
+    // Checked here, before the optimizer prunes the seed scans against
+    // them: a dimension mismatch would otherwise read past the end of
+    // the shorter vector inside the dominance checks.
+    MOQO_CHECK(options.initial_bounds->dims() == dims);
+    return *options.initial_bounds;
+  }
+  return CostVector::Infinite(dims);
 }
 
 }  // namespace
@@ -36,11 +43,16 @@ bool IamaSession::ApplyAction(const UserAction& action) {
     case UserAction::Kind::kSelectPlan:
       return true;
     case UserAction::Kind::kSetBounds:
+      // User input: bound vectors must match the metric dimension, or
+      // every later range query would compare mismatched vectors.
       MOQO_CHECK(action.new_bounds.dims() == bounds_.dims());
       bounds_ = action.new_bounds;
       resolution_ = 0;  // Quickly show first results for the new bounds.
       return false;
     case UserAction::Kind::kContinue:
+      // Clamp at rM: sessions may keep stepping past the finest level
+      // (e.g. a service polling for bounds changes), and refinement must
+      // not run off the schedule — Alpha(r) aborts for r > rM.
       resolution_ =
           std::min(options_.schedule.MaxResolution(), resolution_ + 1);
       return false;

@@ -80,7 +80,9 @@ class NoInteractionPolicy : public InteractionPolicy {
 };
 
 // Replays a scripted sequence of (iteration -> action) events; useful for
-// bound-dragging scenarios in tests and benchmarks.
+// bound-dragging scenarios in tests and benchmarks. If several events
+// name the same iteration, the first one in the script wins — one action
+// per snapshot, later duplicates are ignored.
 class ScriptedPolicy : public InteractionPolicy {
  public:
   struct Event {

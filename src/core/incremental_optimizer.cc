@@ -55,6 +55,12 @@ IncrementalOptimizer::IncrementalOptimizer(const PlanFactory& factory,
       cand_(factory.NumTables(), factory.cost_model().schema().dims(),
             options.cell_gamma) {
   counters_.track_per_plan = options_.track_per_plan_counters;
+  // Option validation: a non-positive thread count is a caller bug, and
+  // when both an external pool and num_threads > 1 are given the pool
+  // wins — many optimizers may share one injected pool (the service
+  // layer does exactly that), and spawning a second, owned pool per
+  // optimizer behind the caller's back must be impossible.
+  MOQO_CHECK(options_.num_threads >= 1);
   if (options_.pool != nullptr) {
     pool_ = options_.pool;
   } else if (options_.num_threads > 1) {

@@ -55,8 +55,9 @@ struct OptimizerOptions {
   // guarantees are order-independent, so this is purely a performance
   // lever (ablated in bench_prune_design).
   bool sorted_pruning = true;
-  // Number of threads used by phase 2 (fresh plan generation). 1 (the
-  // default) runs the exact legacy single-threaded code path.
+  // Number of threads used by phase 2 (fresh plan generation). Must be
+  // >= 1 (CHECKed by the optimizer constructor); 1 (the default) runs
+  // the exact legacy single-threaded code path.
   //
   // The parallel engine shards the connected table subsets of each
   // cardinality level k across a fixed pool of workers and joins them at a
@@ -76,6 +77,10 @@ struct OptimizerOptions {
   // spawning num_threads workers — callers can share one pool across
   // optimizers (or keep thread spawning out of timed regions). Must
   // outlive the optimizer; only the optimizer's thread may Optimize.
+  // If both `pool` and `num_threads > 1` are set, the pool wins: the
+  // optimizer never spawns its own workers next to an injected pool
+  // (num_threads is ignored; observable via IncrementalOptimizer::pool()
+  // / owns_pool(), pinned by edge_cases_test).
   ThreadPool* pool = nullptr;
 };
 
@@ -107,6 +112,11 @@ class IncrementalOptimizer {
                                                int resolution) const;
 
   const PlanFactory& factory() const { return factory_; }
+  // The pool phase 2 runs on: the injected options.pool if given, else
+  // the owned pool spawned for num_threads > 1, else null (serial path).
+  // Lets callers and tests pin the pool-wins contract.
+  const ThreadPool* pool() const { return pool_; }
+  bool owns_pool() const { return owned_pool_ != nullptr; }
   const PlanArena& arena() const { return arena_; }
   const ResolutionSchedule& schedule() const { return schedule_; }
   const Counters& counters() const { return counters_; }

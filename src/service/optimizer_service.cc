@@ -1,0 +1,404 @@
+#include "service/optimizer_service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <utility>
+
+namespace moqo {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Exact textual rendering (hexfloat) so that cache keys distinguish any
+// two selectivities / bounds that could produce different cost vectors.
+void AppendDouble(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  *out += buf;
+}
+
+int ResolvedMaxIterations(const SubmitOptions& options) {
+  return options.max_iterations > 0 ? options.max_iterations
+                                    : options.iama.schedule.NumLevels();
+}
+
+}  // namespace
+
+std::string CanonicalQueryKey(const Query& query, const MetricSchema& schema,
+                              const SubmitOptions& options) {
+  std::string key = "v1;t=";
+  for (const TableRef& t : query.tables) {  // Aliases are display-only.
+    key += std::to_string(t.table);
+    key += ':';
+    AppendDouble(&key, t.predicate_selectivity);
+    key += ',';
+  }
+  key += ";j=";
+  for (const JoinPredicate& j : query.joins) {
+    // Endpoint orientation is symmetric — normalize it. The predicate
+    // *sequence* stays as written: predicate indices feed the
+    // interesting-order tags, so reordering could change the frontier.
+    key += std::to_string(std::min(j.left, j.right));
+    key += '+';
+    key += std::to_string(std::max(j.left, j.right));
+    key += ':';
+    AppendDouble(&key, j.selectivity);
+    key += ',';
+  }
+  key += ";m=";
+  for (MetricId m : schema.metrics()) {
+    key += std::to_string(static_cast<int>(m));
+    key += ',';
+  }
+  const ResolutionSchedule& sched = options.iama.schedule;
+  key += ";s=";
+  key += std::to_string(sched.NumLevels());
+  key += ':';
+  AppendDouble(&key, sched.alpha_target());
+  key += ':';
+  AppendDouble(&key, sched.alpha_step());
+  key += ':';
+  key += std::to_string(static_cast<int>(sched.kind()));
+  key += ";b=";
+  if (options.iama.initial_bounds.has_value()) {
+    const CostVector& b = *options.iama.initial_bounds;
+    for (int i = 0; i < b.dims(); ++i) {
+      AppendDouble(&key, b[i]);
+      key += ',';
+    }
+  } else {
+    key += "inf";
+  }
+  // Result-affecting optimizer knobs. Thread counts and pools are
+  // excluded: the parallel engine is frontier-equivalent by contract.
+  const OptimizerOptions& opt = options.iama.optimizer;
+  key += ";o=";
+  AppendDouble(&key, opt.cell_gamma);
+  key += opt.prune_against_all_resolutions ? ":1" : ":0";
+  key += opt.park_next_level_only ? ":1" : ":0";
+  key += opt.sorted_pruning ? ":1" : ":0";
+  key += ";i=";
+  key += std::to_string(ResolvedMaxIterations(options));
+  return key;
+}
+
+struct OptimizerService::SessionState {
+  QueryId id = kInvalidQueryId;
+  Query query;
+  SubmitOptions options;
+  SnapshotObserver observer;
+  std::string cache_key;
+  int max_iterations = 0;
+  bool has_deadline = false;
+  Clock::time_point deadline;
+  std::atomic<bool> cancel_requested{false};
+  // Scheduler-thread-only state (built lazily on the first turn):
+  std::unique_ptr<PlanFactory> factory;
+  std::unique_ptr<IamaSession> session;
+  int steps_done = 0;
+  FrontierSnapshot last_snapshot;
+};
+
+OptimizerService::OptimizerService(const Catalog& catalog,
+                                   ServiceOptions options)
+    : catalog_(catalog), options_(std::move(options)) {
+  MOQO_CHECK(options_.num_threads >= 1);
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  scheduler_ = std::thread([this] { SchedulerLoop(); });
+}
+
+OptimizerService::~OptimizerService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  scheduler_.join();
+  std::unique_lock<std::mutex> lock(mu_);
+  run_queue_.clear();
+  // Unblock any Wait() on sessions the scheduler never finished.
+  while (!sessions_.empty()) {
+    FinalizeLocked(sessions_.begin()->second.get(), QueryState::kCancelled);
+  }
+  // Drain threads already inside Wait(): they still touch mu_, done_cv_,
+  // and results_, which must not be destroyed under them.
+  waiters_cv_.wait(lock, [this] { return waiters_ == 0; });
+}
+
+StatusOr<QueryId> OptimizerService::Submit(const Query& query,
+                                           SubmitOptions options,
+                                           SnapshotObserver observer) {
+  // All user input is validated here (Status, not CHECK).
+  MOQO_RETURN_IF_ERROR(ValidateQuery(query, catalog_));
+  if (options.max_iterations < 0) {
+    return Status::InvalidArgument("max_iterations must be >= 0");
+  }
+  if (options.priority < 1) {
+    return Status::InvalidArgument("priority must be >= 1");
+  }
+  if (options.deadline_ms < 0.0) {
+    return Status::InvalidArgument("deadline_ms must be >= 0");
+  }
+  if (options.iama.initial_bounds.has_value() &&
+      options.iama.initial_bounds->dims() != options_.schema.dims()) {
+    return Status::InvalidArgument(
+        "initial_bounds dimension does not match the service metric schema");
+  }
+  if (options.iama.optimizer.pool != nullptr) {
+    return Status::InvalidArgument(
+        "optimizer.pool is owned by the service; do not inject one");
+  }
+  if (options.iama.optimizer.num_threads != 1) {
+    return Status::InvalidArgument(
+        "optimizer.num_threads is owned by the service (ServiceOptions"
+        "::num_threads); leave it at 1");
+  }
+
+  // The cache key is only worth computing when a cache exists.
+  const std::string key =
+      options_.frontier_cache_capacity > 0
+          ? CanonicalQueryKey(query, options_.schema, options)
+          : std::string();
+  const int max_iterations = ResolvedMaxIterations(options);
+
+  QueryId id = kInvalidQueryId;
+  // Set on a cache hit; streamed to the observer outside the lock.
+  std::shared_ptr<const FrontierSnapshot> cached;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    ++stats_.submitted;
+    auto hit = key.empty() ? cache_index_.end() : cache_index_.find(key);
+    if (hit != cache_index_.end()) {
+      cache_lru_.splice(cache_lru_.begin(), cache_lru_, hit->second);
+      const CacheEntry& entry = cache_lru_.front().second;
+      StoredResult result;
+      result.id = id;
+      result.state = QueryState::kDone;
+      result.iterations = entry.iterations;
+      result.from_cache = true;
+      result.frontier = entry.frontier;  // Shared, not copied.
+      RecordResultLocked(std::move(result));
+      ++stats_.cache_hits;
+      ++stats_.completed;
+      cached = entry.frontier;
+    } else {
+      auto state = std::make_unique<SessionState>();
+      state->id = id;
+      state->query = query;
+      state->options = std::move(options);
+      state->observer = std::move(observer);
+      state->cache_key = key;
+      state->max_iterations = max_iterations;
+      if (state->options.deadline_ms > 0.0) {
+        state->has_deadline = true;
+        state->deadline =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(
+                                   state->options.deadline_ms));
+      }
+      sessions_.emplace(id, std::move(state));
+      run_queue_.push_back(id);
+    }
+  }
+  if (cached != nullptr) {
+    // Stream the cached final frontier as the one and only snapshot.
+    // (Waiters were already notified inside the lock.)
+    if (observer) observer(id, *cached);
+  } else {
+    work_cv_.notify_one();
+  }
+  return id;
+}
+
+bool OptimizerService::Cancel(QueryId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  it->second->cancel_requested.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+QueryResult OptimizerService::Wait(QueryId id) {
+  QueryResult result;
+  std::shared_ptr<const FrontierSnapshot> frontier;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Register as a waiter: pins the id's result against retention
+    // eviction and holds off service destruction until we are out.
+    ++waiters_;
+    ++wait_counts_[id];
+    done_cv_.wait(lock, [&] {
+      return results_.find(id) != results_.end() ||
+             sessions_.find(id) == sessions_.end();
+    });
+    auto it = results_.find(id);
+    if (it != results_.end()) {
+      const StoredResult& stored = it->second;
+      result.id = stored.id;
+      result.state = stored.state;
+      result.iterations = stored.iterations;
+      result.from_cache = stored.from_cache;
+      frontier = stored.frontier;  // Shared; deep copy happens unlocked.
+    }  // else: unknown id — result stays default-constructed.
+    auto wit = wait_counts_.find(id);
+    if (--wit->second == 0) wait_counts_.erase(wit);
+    if (--waiters_ == 0) waiters_cv_.notify_all();
+  }
+  if (frontier != nullptr) result.frontier = *frontier;
+  return result;
+}
+
+ServiceStats OptimizerService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+int OptimizerService::active_waiters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiters_;
+}
+
+void OptimizerService::BuildSession(SessionState* s) {
+  s->factory = std::make_unique<PlanFactory>(
+      s->query, catalog_, options_.schema, options_.cost_params,
+      options_.operator_options);
+  IamaOptions iama = s->options.iama;
+  iama.optimizer.pool = pool_.get();  // Shared pool (may be null).
+  iama.optimizer.num_threads = 1;     // The service owns all parallelism.
+  s->session = std::make_unique<IamaSession>(*s->factory, iama);
+}
+
+void OptimizerService::RecordResultLocked(StoredResult result) {
+  const QueryId id = result.id;
+  results_.emplace(id, std::move(result));
+  results_order_.push_back(id);
+  if (options_.result_retention > 0) {
+    // Evict the oldest result that no thread is blocked in Wait() on —
+    // evicting a waited-on result would silently lose the frontier its
+    // waiter is about to read. Pinned results keep their age (the scan
+    // preserves finish order); if everything in excess is pinned,
+    // retention is temporarily exceeded (soft cap).
+    while (results_order_.size() > options_.result_retention) {
+      auto victim = results_order_.begin();
+      while (victim != results_order_.end() &&
+             wait_counts_.find(*victim) != wait_counts_.end()) {
+        ++victim;
+      }
+      if (victim == results_order_.end()) break;  // All pinned.
+      results_.erase(*victim);
+      results_order_.erase(victim);
+    }
+  }
+  done_cv_.notify_all();
+}
+
+void OptimizerService::FinalizeLocked(SessionState* s, QueryState state) {
+  StoredResult result;
+  result.id = s->id;
+  result.state = state;
+  result.iterations = s->steps_done;
+  result.frontier =
+      std::make_shared<const FrontierSnapshot>(std::move(s->last_snapshot));
+  switch (state) {
+    case QueryState::kDone:
+      ++stats_.completed;
+      if (options_.frontier_cache_capacity > 0) {
+        auto it = cache_index_.find(s->cache_key);
+        if (it != cache_index_.end()) {
+          cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+          cache_lru_.front().second = {result.frontier, result.iterations};
+        } else {
+          cache_lru_.emplace_front(
+              s->cache_key, CacheEntry{result.frontier, result.iterations});
+          cache_index_.emplace(s->cache_key, cache_lru_.begin());
+          if (cache_lru_.size() > options_.frontier_cache_capacity) {
+            cache_index_.erase(cache_lru_.back().first);
+            cache_lru_.pop_back();
+          }
+        }
+      }
+      break;
+    case QueryState::kCancelled:
+      ++stats_.cancelled;
+      break;
+    case QueryState::kExpired:
+      ++stats_.expired;
+      break;
+    case QueryState::kQueued:
+      MOQO_CHECK(false);  // Not a terminal state.
+  }
+  RecordResultLocked(std::move(result));
+  sessions_.erase(s->id);  // Frees the arena and plan indexes.
+}
+
+void OptimizerService::SchedulerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || !run_queue_.empty(); });
+    if (stop_) return;
+    const QueryId id = run_queue_.front();
+    run_queue_.pop_front();
+    SessionState* s = sessions_.at(id).get();
+    if (s->cancel_requested.load(std::memory_order_relaxed)) {
+      FinalizeLocked(s, QueryState::kCancelled);
+      continue;
+    }
+    lock.unlock();
+
+    // Stepping happens outside the lock: the scheduler thread owns the
+    // session exclusively (it is not in the run queue right now), so
+    // Submit/Cancel/Wait stay responsive during long invocations.
+    bool finished = false;
+    QueryState end_state = QueryState::kDone;
+    int steps_this_turn = 0;
+    // Deadline gate before the (expensive) factory build: a session that
+    // expired while queued must not pay plan-space construction.
+    if (s->has_deadline && Clock::now() >= s->deadline) {
+      finished = true;
+      end_state = QueryState::kExpired;
+    } else if (s->session == nullptr) {
+      BuildSession(s);
+    }
+    for (int i = 0; i < s->options.priority && !finished; ++i) {
+      if (s->has_deadline && Clock::now() >= s->deadline) {
+        finished = true;
+        end_state = QueryState::kExpired;
+        break;
+      }
+      s->last_snapshot = s->session->Step();
+      ++s->steps_done;
+      ++steps_this_turn;
+      if (s->observer) s->observer(s->id, s->last_snapshot);
+      s->session->ApplyAction(UserAction::Continue());
+      if (s->steps_done >= s->max_iterations) {
+        finished = true;
+        end_state = QueryState::kDone;
+      } else if (s->cancel_requested.load(std::memory_order_relaxed)) {
+        finished = true;
+        end_state = QueryState::kCancelled;
+      }
+    }
+
+    lock.lock();
+    stats_.steps_executed += static_cast<uint64_t>(steps_this_turn);
+    // Linearize Cancel against completion: Cancel sets the flag under
+    // mu_ while the session is still in sessions_, so re-checking here
+    // guarantees that a true-returning Cancel is observed as kCancelled
+    // even when the last step finished concurrently.
+    if (s->cancel_requested.load(std::memory_order_relaxed)) {
+      finished = true;
+      end_state = QueryState::kCancelled;
+    }
+    if (finished) {
+      FinalizeLocked(s, end_state);
+    } else {
+      run_queue_.push_back(id);  // Round-robin: back of the line.
+    }
+  }
+}
+
+}  // namespace moqo

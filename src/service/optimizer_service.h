@@ -1,0 +1,237 @@
+// OptimizerService: concurrent multi-query anytime optimization.
+//
+// The paper's anytime property makes IAMA a natural fit for a serving
+// layer: every Optimize invocation is cheap and interruptible, so many
+// queries can share one machine and each still converges to an
+// α-approximate Pareto frontier. The service admits queries (Submit),
+// runs a fair scheduler that interleaves single IamaSession steps across
+// all admitted sessions, and streams every FrontierSnapshot to a
+// per-query observer — each query's frontier improves incrementally
+// while total worker usage stays bounded.
+//
+// Concurrency model. One scheduler thread executes all optimizer steps,
+// strictly serialized; intra-step parallelism comes from one shared
+// ThreadPool injected into every per-query IncrementalOptimizer via
+// OptimizerOptions::pool (the pool's ParallelFor is not reentrant, so
+// serialized stepping is required, not just convenient). Because each
+// session's own sequence of Step() calls is independent of how sessions
+// are interleaved, service frontiers are bit-identical to running every
+// query alone (service_test asserts this, including under TSan).
+//
+// Scheduling. Round-robin over admitted sessions; a session's `priority`
+// is the number of consecutive steps it gets per turn, and an optional
+// per-query deadline (wall clock from admission) expires sessions that
+// cannot finish in time — they keep their last (coarser) frontier, which
+// is exactly the anytime contract.
+//
+// Caching. A small LRU cache maps a canonicalized query (join graph +
+// metric set + the options that affect the result) to its final
+// frontier; repeated submissions skip re-optimization entirely and
+// return the cached frontier, which equals the fresh run bit for bit
+// because optimization is deterministic. The cache fills when a session
+// completes: duplicates submitted while the first copy is still in
+// flight are not coalesced — each runs on its own.
+#ifndef MOQO_SERVICE_OPTIMIZER_SERVICE_H_
+#define MOQO_SERVICE_OPTIMIZER_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "catalog/catalog.h"
+#include "core/iama.h"
+#include "plan/cost_model.h"
+#include "query/query.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace moqo {
+
+// Service-wide ticket for one submitted query. 0 is never issued.
+using QueryId = uint64_t;
+inline constexpr QueryId kInvalidQueryId = 0;
+
+struct ServiceOptions {
+  // Size of the shared worker pool used by every session's phase-2
+  // enumeration. Must be >= 1; 1 keeps sessions on the serial path.
+  int num_threads = 1;
+  // Capacity (entries) of the LRU frontier cache; 0 disables caching.
+  size_t frontier_cache_capacity = 64;
+  // How many finished QueryResults are retained for Wait(); the oldest
+  // are dropped beyond this (a soft cap: results with a Wait() call in
+  // progress are never evicted). 0 = unlimited (unbounded memory on a
+  // long-running service — only for tests/tools). Wait() on a dropped id
+  // reports it as unknown.
+  size_t result_retention = 1024;
+  // Cost model configuration shared by all queries of this service.
+  // (These are service-wide constants, so they do not participate in the
+  // per-query cache key.)
+  MetricSchema schema = MetricSchema::Standard3();
+  CostModelParams cost_params;
+  OperatorOptions operator_options;
+};
+
+struct SubmitOptions {
+  IamaOptions iama;
+  // Total session steps to run; 0 means schedule.NumLevels() — one sweep
+  // from resolution 0 to rM. Must be >= 0.
+  int max_iterations = 0;
+  // Steps granted per scheduler turn (weighted round-robin); >= 1.
+  int priority = 1;
+  // Wall-clock budget in ms, measured from admission; 0 = no deadline.
+  // An expired session completes with whatever frontier it last
+  // produced — possibly none, if no step ran before the deadline.
+  double deadline_ms = 0.0;
+};
+
+// Terminal states as reported by Wait(); kQueued is only ever seen as
+// the default of a QueryResult for an unknown id — in-flight sessions
+// are not observable through results.
+enum class QueryState {
+  kQueued,     // Not finished (only on unknown-id results).
+  kDone,       // Ran all requested iterations (or served from cache).
+  kCancelled,  // Cancel() before completion.
+  kExpired,    // Deadline elapsed before all iterations ran.
+};
+
+struct QueryResult {
+  QueryId id = kInvalidQueryId;  // kInvalidQueryId = unknown query id.
+  QueryState state = QueryState::kQueued;
+  int iterations = 0;     // Session steps actually executed.
+  bool from_cache = false;
+  // The last snapshot produced (the final frontier for kDone). Plan ids
+  // inside refer to the session's (freed) arena — treat them as opaque
+  // tags; the cost vectors and order/resolution fields are the payload.
+  FrontierSnapshot frontier;
+};
+
+struct ServiceStats {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t cancelled = 0;
+  uint64_t expired = 0;
+  uint64_t cache_hits = 0;
+  uint64_t steps_executed = 0;
+};
+
+// Cache key for a submission: canonicalized join graph (aliases and the
+// query name dropped, join endpoints orientation-normalized — but join
+// *sequence* preserved, since predicate indices feed the interesting-
+// order tags and renumbering them could change the frontier), metric
+// set, and every submit-level option that affects the result. Thread
+// counts are deliberately excluded: the parallel engine is frontier-
+// equivalent, so runs at different thread counts share cache lines.
+std::string CanonicalQueryKey(const Query& query, const MetricSchema& schema,
+                              const SubmitOptions& options);
+
+class OptimizerService {
+ public:
+  // Observes one query's frontier stream. Invoked with the service mutex
+  // released, from the scheduler thread (or from inside Submit for cache
+  // hits) — observers may Submit or Cancel, but must not Wait.
+  using SnapshotObserver =
+      std::function<void(QueryId, const FrontierSnapshot&)>;
+
+  // `catalog` must outlive the service and not be mutated while the
+  // service is alive.
+  OptimizerService(const Catalog& catalog, ServiceOptions options);
+  // Cancels all unfinished sessions, joins the scheduler, and blocks
+  // until every Wait() call already in progress has returned. (As with
+  // any object, *starting* a new call concurrently with destruction is
+  // still a caller error.)
+  ~OptimizerService();
+
+  OptimizerService(const OptimizerService&) = delete;
+  OptimizerService& operator=(const OptimizerService&) = delete;
+
+  // Admits a query. Validates the query against the catalog and the
+  // submit options (user input ⇒ Status, not CHECK). On success the
+  // returned id is immediately schedulable; snapshots stream to
+  // `observer` as the session is stepped.
+  StatusOr<QueryId> Submit(const Query& query, SubmitOptions options = {},
+                           SnapshotObserver observer = nullptr);
+
+  // Requests cancellation; returns false if the query is unknown or
+  // already finished. After a true return, Wait() observes kCancelled —
+  // even if the session's last step completed concurrently (the
+  // cancellation flag is re-checked before the result is finalized).
+  bool Cancel(QueryId id);
+
+  // Blocks until the query finishes (done, cancelled, or expired) and
+  // returns its result; repeat calls return the same result. Unknown ids
+  // yield a result with id == kInvalidQueryId.
+  QueryResult Wait(QueryId id);
+
+  ServiceStats stats() const;
+  int threads() const { return options_.num_threads; }
+  // Threads currently blocked inside Wait() (diagnostics; also lets
+  // tests establish that a waiter is registered before racing it).
+  int active_waiters() const;
+
+ private:
+  struct SessionState;
+
+  // Finished results and cache entries share one immutable snapshot, so
+  // finalization never deep-copies plan vectors while holding mu_.
+  struct CacheEntry {
+    std::shared_ptr<const FrontierSnapshot> frontier;
+    int iterations = 0;
+  };
+
+  struct StoredResult {
+    QueryId id = kInvalidQueryId;
+    QueryState state = QueryState::kQueued;
+    int iterations = 0;
+    bool from_cache = false;
+    std::shared_ptr<const FrontierSnapshot> frontier;
+  };
+
+  void SchedulerLoop();
+  // Builds the session's factory + IamaSession (first scheduling turn).
+  void BuildSession(SessionState* s);
+  // Stores a terminal result, evicting the oldest beyond
+  // result_retention, and wakes waiters. Requires mu_ held.
+  void RecordResultLocked(StoredResult result);
+  // Records the terminal result, frees the session, and fills the cache
+  // (kDone only). Requires mu_ held.
+  void FinalizeLocked(SessionState* s, QueryState state);
+
+  const Catalog& catalog_;
+  const ServiceOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // Shared pool; null if 1 thread.
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // Scheduler sleeps when queue empty.
+  std::condition_variable done_cv_;  // Wait() blocks here.
+  std::condition_variable waiters_cv_;  // Destructor drains Wait() calls.
+  bool stop_ = false;
+  int waiters_ = 0;  // Threads currently inside Wait().
+  // Per-id Wait() calls in progress; such results are not evicted.
+  std::unordered_map<QueryId, int> wait_counts_;
+  QueryId next_id_ = 1;
+  std::unordered_map<QueryId, std::unique_ptr<SessionState>> sessions_;
+  std::deque<QueryId> run_queue_;  // Round-robin order.
+  std::unordered_map<QueryId, StoredResult> results_;
+  std::deque<QueryId> results_order_;  // Finish order, for retention.
+  ServiceStats stats_;
+
+  // LRU frontier cache: list front = most recent; map values point into
+  // the list. Guarded by mu_.
+  std::list<std::pair<std::string, CacheEntry>> cache_lru_;
+  std::unordered_map<std::string, decltype(cache_lru_)::iterator>
+      cache_index_;
+
+  std::thread scheduler_;  // Last member: starts after state is ready.
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_SERVICE_OPTIMIZER_SERVICE_H_

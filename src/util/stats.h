@@ -1,0 +1,31 @@
+// Small measurement helpers shared by benchmarks, examples, and the
+// service tooling: wall-clock deltas and latency percentiles.
+#ifndef MOQO_UTIL_STATS_H_
+#define MOQO_UTIL_STATS_H_
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+namespace moqo {
+
+// Milliseconds elapsed since `start` on the steady clock.
+inline double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// The p-quantile (p in [0, 1]) of `values`, taken as the sorted sample's
+// element at the rounded zero-based linear index round(p * (n - 1));
+// 0 for an empty sample. Takes the sample by value: it sorts a copy.
+inline double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t idx = static_cast<size_t>(p * (values.size() - 1) + 0.5);
+  return values[std::min(idx, values.size() - 1)];
+}
+
+}  // namespace moqo
+
+#endif  // MOQO_UTIL_STATS_H_

@@ -47,14 +47,19 @@ class TableSet {
   constexpr TableSet() : mask_(0) {}
   constexpr explicit TableSet(uint32_t mask) : mask_(mask) {}
 
-  // The singleton set {table}.
+  // The singleton set {table}. The index must be a valid table position:
+  // a shift by >= 32 is undefined behavior, and table counts are capped
+  // at kMaxTables anyway, so out-of-range indices (reachable from the
+  // query generator when handed a bad table count) are CHECKed here.
   static constexpr TableSet Singleton(int table) {
+    MOQO_CHECK(table >= 0 && table < kMaxTables);
     return TableSet(uint32_t{1} << table);
   }
-  // The full set {0, ..., num_tables-1}.
+  // The full set {0, ..., num_tables-1}; `num_tables` must be in
+  // [0, kMaxTables] (same UB-shift guard as Singleton).
   static constexpr TableSet Full(int num_tables) {
-    return TableSet(num_tables == 32 ? ~uint32_t{0}
-                                     : ((uint32_t{1} << num_tables) - 1));
+    MOQO_CHECK(num_tables >= 0 && num_tables <= kMaxTables);
+    return TableSet((uint32_t{1} << num_tables) - 1);
   }
 
   constexpr uint32_t mask() const { return mask_; }

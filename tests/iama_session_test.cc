@@ -117,6 +117,55 @@ TEST(IamaSessionTest, InitialBoundsOptionRestrictsFirstSnapshot) {
   }
 }
 
+TEST(IamaSessionTest, SteppingFarPastMaxResolutionStaysClamped) {
+  // A session driven well beyond the schedule (e.g. a service polling for
+  // bounds changes) must keep the resolution pinned at rM and never index
+  // Alpha(r > rM) — which would abort.
+  RandomWorld world = MakeRandomWorld(67, 3, /*sampling=*/true);
+  const int levels = 3;
+  IamaSession session(*world.factory, SmallOptions(levels));
+  const int rm = levels - 1;
+  FrontierSnapshot snap;
+  for (int i = 0; i < 3 * levels; ++i) {
+    snap = session.Step();
+    EXPECT_LE(session.resolution(), rm);
+    session.ApplyAction(UserAction::Continue());
+    EXPECT_LE(session.resolution(), rm);
+  }
+  EXPECT_EQ(snap.resolution, rm);
+  EXPECT_DOUBLE_EQ(snap.alpha, 1.02);  // α_T: the finest level's factor.
+}
+
+TEST(IamaSessionTest, ScriptedPolicyFirstDuplicateEventWins) {
+  RandomWorld world = MakeRandomWorld(68, 3, /*sampling=*/true);
+  IamaSession session(*world.factory, SmallOptions(4));
+  CostVector first = CostVector::Infinite(3);
+  first[1] = 2.0;
+  CostVector second = CostVector::Infinite(3);
+  second[1] = 1.0;
+  // Two events scripted for the same iteration: only the first applies.
+  ScriptedPolicy policy({{2, UserAction::SetBounds(first)},
+                         {2, UserAction::SetBounds(second)}});
+  session.Run(&policy, 3);
+  EXPECT_EQ(session.bounds()[1], 2.0);
+}
+
+TEST(IamaSessionDeathTest, SetBoundsDimensionMismatchAborts) {
+  RandomWorld world = MakeRandomWorld(69, 3, /*sampling=*/true);
+  IamaSession session(*world.factory, SmallOptions());
+  session.Step();
+  EXPECT_DEATH(
+      session.ApplyAction(UserAction::SetBounds(CostVector::Infinite(2))),
+      "dims");
+}
+
+TEST(IamaSessionDeathTest, InitialBoundsDimensionMismatchAborts) {
+  RandomWorld world = MakeRandomWorld(70, 3, /*sampling=*/true);
+  IamaOptions options = SmallOptions();
+  options.initial_bounds = CostVector::Infinite(2);  // Schema has 3 dims.
+  EXPECT_DEATH(IamaSession(*world.factory, options), "dims");
+}
+
 TEST(IamaSessionTest, RelaxAndTightenScenario) {
   // Figure 1 style interaction: tighten, observe, relax; the session must
   // keep producing valid snapshots and never lose coverage.

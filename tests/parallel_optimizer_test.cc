@@ -22,25 +22,6 @@
 namespace moqo {
 namespace {
 
-// Sorted (lexicographic) cost vectors of a result frontier, with the
-// plans' interesting-order tags folded in so equal-cost plans of
-// different order classes are distinguished.
-std::vector<std::vector<double>> FrontierSignature(
-    const std::vector<CellIndex::Entry>& entries) {
-  std::vector<std::vector<double>> sig;
-  sig.reserve(entries.size());
-  for (const CellIndex::Entry& e : entries) {
-    std::vector<double> row;
-    row.reserve(static_cast<size_t>(e.cost.dims()) + 2);
-    for (int i = 0; i < e.cost.dims(); ++i) row.push_back(e.cost[i]);
-    row.push_back(static_cast<double>(e.order));
-    row.push_back(static_cast<double>(e.resolution));
-    sig.push_back(std::move(row));
-  }
-  std::sort(sig.begin(), sig.end());
-  return sig;
-}
-
 // Asserts that two optimizers hold identical result frontiers for every
 // connected table subset at the given bounds/resolution.
 void ExpectIdenticalFrontiers(const PlanFactory& factory,

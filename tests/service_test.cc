@@ -1,0 +1,423 @@
+// OptimizerService tests: concurrent sessions on one shared pool must
+// produce frontiers bit-identical to per-query sequential runs; the LRU
+// frontier cache must serve repeated queries without re-optimization;
+// cancellation, deadlines, admission validation, and teardown must all
+// behave under concurrent submitters (this test also runs under TSan).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "catalog/tpch.h"
+#include "query/generator.h"
+#include "query/tpch_queries.h"
+#include "service/optimizer_service.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace moqo {
+namespace {
+
+// Runs one query alone: a plain single-threaded IamaSession stepped
+// `iterations` times, returning the final snapshot.
+FrontierSnapshot SequentialFinalSnapshot(const Query& query,
+                                         const Catalog& catalog,
+                                         const ServiceOptions& service_opts,
+                                         const IamaOptions& iama,
+                                         int iterations) {
+  const PlanFactory factory(query, catalog, service_opts.schema,
+                            service_opts.cost_params,
+                            service_opts.operator_options);
+  IamaSession session(factory, iama);
+  FrontierSnapshot snap;
+  for (int i = 0; i < iterations; ++i) {
+    snap = session.Step();
+    session.ApplyAction(UserAction::Continue());
+  }
+  return snap;
+}
+
+ServiceOptions SmallServiceOptions(int threads) {
+  ServiceOptions options;
+  options.num_threads = threads;
+  options.operator_options = TinyOperatorOptions(/*sampling=*/true);
+  return options;
+}
+
+SubmitOptions SmallSubmitOptions(int levels = 4) {
+  SubmitOptions options;
+  options.iama.schedule = ResolutionSchedule(levels, 1.02, 0.3);
+  return options;
+}
+
+// A mixed workload: every small TPC-H block plus random topologies. The
+// catalog is fully built before any service reads it.
+struct Workload {
+  Catalog catalog;
+  std::vector<Query> queries;
+};
+
+Workload MakeWorkload(int num_random, int random_tables = 4) {
+  Workload w;
+  w.catalog = MakeTpchCatalog();
+  for (const Query& q : TpchQueryBlocks(w.catalog)) {
+    if (q.NumTables() <= 4) w.queries.push_back(q);
+  }
+  Rng rng(99);
+  for (int i = 0; i < num_random; ++i) {
+    GeneratorOptions gen;
+    gen.num_tables = random_tables;
+    gen.topology = i % 2 == 0 ? Topology::kChain : Topology::kStar;
+    Query q = RandomQuery(rng, gen, &w.catalog);
+    q.name = "rand" + std::to_string(i);
+    w.queries.push_back(std::move(q));
+  }
+  return w;
+}
+
+TEST(OptimizerServiceTest, ConcurrentSessionsMatchSequentialRuns) {
+  const Workload w = MakeWorkload(/*num_random=*/4);
+  const ServiceOptions service_opts = SmallServiceOptions(/*threads=*/4);
+  const SubmitOptions submit = SmallSubmitOptions();
+  const int iterations = submit.iama.schedule.NumLevels();
+
+  OptimizerService service(w.catalog, service_opts);
+  // Admit everything from several client threads at once; every session's
+  // steps interleave on the shared pool.
+  std::vector<QueryId> ids(w.queries.size(), kInvalidQueryId);
+  std::vector<std::unique_ptr<std::atomic<int>>> snapshot_counts;
+  for (size_t i = 0; i < w.queries.size(); ++i) {
+    snapshot_counts.push_back(std::make_unique<std::atomic<int>>(0));
+  }
+  const int kSubmitters = 4;
+  std::vector<std::thread> submitters;
+  for (int thread = 0; thread < kSubmitters; ++thread) {
+    submitters.emplace_back([&, thread] {
+      for (size_t i = static_cast<size_t>(thread); i < w.queries.size();
+           i += kSubmitters) {
+        std::atomic<int>* count = snapshot_counts[i].get();
+        StatusOr<QueryId> id = service.Submit(
+            w.queries[i], submit,
+            [count](QueryId, const FrontierSnapshot&) { ++*count; });
+        ASSERT_TRUE(id.ok()) << id.status().ToString();
+        ids[i] = id.value();
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+
+  for (size_t i = 0; i < w.queries.size(); ++i) {
+    const QueryResult result = service.Wait(ids[i]);
+    EXPECT_EQ(result.state, QueryState::kDone) << w.queries[i].name;
+    EXPECT_EQ(result.iterations, iterations);
+    EXPECT_FALSE(result.from_cache);
+    // Snapshot streaming: one observer call per step.
+    EXPECT_EQ(snapshot_counts[i]->load(), iterations);
+    // Bit-identical to running the query alone, single-threaded.
+    const FrontierSnapshot reference = SequentialFinalSnapshot(
+        w.queries[i], w.catalog, service_opts, submit.iama, iterations);
+    ASSERT_EQ(FrontierSignature(result.frontier.plans),
+              FrontierSignature(reference.plans))
+        << w.queries[i].name;
+    EXPECT_EQ(result.frontier.resolution, reference.resolution);
+    EXPECT_EQ(result.frontier.alpha, reference.alpha);
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, w.queries.size());
+  EXPECT_EQ(stats.completed, w.queries.size());
+  EXPECT_EQ(stats.steps_executed,
+            w.queries.size() * static_cast<uint64_t>(iterations));
+}
+
+TEST(OptimizerServiceTest, CacheServesRepeatedQueryBitIdentically) {
+  const Workload w = MakeWorkload(/*num_random=*/0);
+  OptimizerService service(w.catalog, SmallServiceOptions(2));
+  const SubmitOptions submit = SmallSubmitOptions();
+  const Query& query = w.queries.front();
+
+  StatusOr<QueryId> first = service.Submit(query, submit);
+  ASSERT_TRUE(first.ok());
+  const QueryResult r1 = service.Wait(first.value());
+  ASSERT_EQ(r1.state, QueryState::kDone);
+  EXPECT_FALSE(r1.from_cache);
+  const uint64_t steps_after_first = service.stats().steps_executed;
+
+  // Same canonical query (different alias/name spelling) hits the cache:
+  // observer sees exactly one snapshot — the final frontier.
+  Query respelled = query;
+  respelled.name = "respelled";
+  for (TableRef& t : respelled.tables) t.alias = "x" + t.alias;
+  std::atomic<int> snapshots{0};
+  StatusOr<QueryId> second = service.Submit(
+      respelled, submit,
+      [&snapshots](QueryId, const FrontierSnapshot&) { ++snapshots; });
+  ASSERT_TRUE(second.ok());
+  const QueryResult r2 = service.Wait(second.value());
+  EXPECT_EQ(r2.state, QueryState::kDone);
+  EXPECT_TRUE(r2.from_cache);
+  EXPECT_EQ(snapshots.load(), 1);
+  ASSERT_EQ(FrontierSignature(r2.frontier.plans),
+            FrontierSignature(r1.frontier.plans));
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  // No re-optimization happened.
+  EXPECT_EQ(stats.steps_executed, steps_after_first);
+}
+
+TEST(OptimizerServiceTest, CacheEvictsLeastRecentlyUsed) {
+  const Workload w = MakeWorkload(/*num_random=*/2);
+  ServiceOptions options = SmallServiceOptions(1);
+  options.frontier_cache_capacity = 1;
+  OptimizerService service(w.catalog, options);
+  const SubmitOptions submit = SmallSubmitOptions();
+  const Query& a = w.queries[w.queries.size() - 2];
+  const Query& b = w.queries[w.queries.size() - 1];
+
+  service.Wait(service.Submit(a, submit).value());
+  service.Wait(service.Submit(b, submit).value());  // Evicts a.
+  const QueryResult again = service.Wait(service.Submit(a, submit).value());
+  EXPECT_FALSE(again.from_cache);
+  const QueryResult b_hit = service.Wait(service.Submit(b, submit).value());
+  EXPECT_FALSE(b_hit.from_cache);  // b was evicted by re-running a.
+  EXPECT_EQ(service.stats().cache_hits, 0u);
+}
+
+TEST(OptimizerServiceTest, ResultRetentionDropsOldestResults) {
+  const Workload w = MakeWorkload(/*num_random=*/0);
+  ASSERT_GE(w.queries.size(), 3u);
+  ServiceOptions options = SmallServiceOptions(1);
+  options.result_retention = 2;
+  OptimizerService service(w.catalog, options);
+  const SubmitOptions submit = SmallSubmitOptions();
+
+  const QueryId first = service.Submit(w.queries[0], submit).value();
+  EXPECT_EQ(service.Wait(first).id, first);  // Still retained.
+  const QueryId a = service.Submit(w.queries[1], submit).value();
+  const QueryId b = service.Submit(w.queries[2], submit).value();
+  service.Wait(a);
+  service.Wait(b);
+  // Two newer results pushed `first` out of the retention window.
+  EXPECT_EQ(service.Wait(first).id, kInvalidQueryId);
+  EXPECT_EQ(service.Wait(b).id, b);
+}
+
+TEST(OptimizerServiceTest, CancelStopsASession) {
+  const Workload w = MakeWorkload(/*num_random=*/1, /*random_tables=*/5);
+  OptimizerService service(w.catalog, SmallServiceOptions(1));
+  SubmitOptions submit = SmallSubmitOptions();
+  submit.max_iterations = 1000000;  // Unreachable: steps clamp at rM.
+
+  StatusOr<QueryId> id = service.Submit(w.queries.back(), submit);
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(service.Cancel(id.value()));
+  const QueryResult result = service.Wait(id.value());
+  EXPECT_EQ(result.state, QueryState::kCancelled);
+  EXPECT_LT(result.iterations, submit.max_iterations);
+  EXPECT_EQ(service.stats().cancelled, 1u);
+  // Cancelling a finished (or unknown) query reports false.
+  EXPECT_FALSE(service.Cancel(id.value()));
+  EXPECT_FALSE(service.Cancel(12345));
+}
+
+TEST(OptimizerServiceTest, DeadlineExpiresSlowQuery) {
+  const Workload w = MakeWorkload(/*num_random=*/1, /*random_tables=*/5);
+  OptimizerService service(w.catalog, SmallServiceOptions(1));
+  SubmitOptions submit = SmallSubmitOptions();
+  submit.deadline_ms = 1e-6;  // Expires before the first step.
+
+  const QueryResult result =
+      service.Wait(service.Submit(w.queries.back(), submit).value());
+  EXPECT_EQ(result.state, QueryState::kExpired);
+  EXPECT_EQ(service.stats().expired, 1u);
+}
+
+TEST(OptimizerServiceTest, RejectsInvalidSubmissions) {
+  const Workload w = MakeWorkload(/*num_random=*/0);
+  OptimizerService service(w.catalog, SmallServiceOptions(1));
+  const Query& good = w.queries.front();
+
+  Query bad_table = good;
+  bad_table.tables[0].table = 100000;
+  EXPECT_FALSE(service.Submit(bad_table).ok());
+
+  SubmitOptions bad_priority = SmallSubmitOptions();
+  bad_priority.priority = 0;
+  EXPECT_FALSE(service.Submit(good, bad_priority).ok());
+
+  SubmitOptions bad_deadline = SmallSubmitOptions();
+  bad_deadline.deadline_ms = -1.0;
+  EXPECT_FALSE(service.Submit(good, bad_deadline).ok());
+
+  SubmitOptions bad_bounds = SmallSubmitOptions();
+  bad_bounds.iama.initial_bounds = CostVector::Infinite(2);  // Schema is 3.
+  EXPECT_FALSE(service.Submit(good, bad_bounds).ok());
+
+  ThreadPool pool(1);
+  SubmitOptions injected_pool = SmallSubmitOptions();
+  injected_pool.iama.optimizer.pool = &pool;
+  EXPECT_FALSE(service.Submit(good, injected_pool).ok());
+
+  SubmitOptions own_threads = SmallSubmitOptions();
+  own_threads.iama.optimizer.num_threads = 4;
+  EXPECT_FALSE(service.Submit(good, own_threads).ok());
+
+  EXPECT_EQ(service.stats().submitted, 0u);
+}
+
+TEST(OptimizerServiceTest, WaitOnUnknownIdReturnsInvalidResult) {
+  const Workload w = MakeWorkload(/*num_random=*/0);
+  OptimizerService service(w.catalog, SmallServiceOptions(1));
+  const QueryResult result = service.Wait(424242);
+  EXPECT_EQ(result.id, kInvalidQueryId);
+}
+
+TEST(OptimizerServiceTest, PriorityAndBoundsOptionsComplete) {
+  const Workload w = MakeWorkload(/*num_random=*/2);
+  OptimizerService service(w.catalog, SmallServiceOptions(2));
+  SubmitOptions high = SmallSubmitOptions();
+  high.priority = 3;
+  CostVector bounds = CostVector::Infinite(3);
+  bounds[1] = 4.0;
+  high.iama.initial_bounds = bounds;
+
+  std::vector<QueryId> ids;
+  for (const Query& q : w.queries) {
+    StatusOr<QueryId> id = service.Submit(q, high);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const QueryResult result = service.Wait(ids[i]);
+    EXPECT_EQ(result.state, QueryState::kDone);
+    for (const auto& e : result.frontier.plans) {
+      EXPECT_LE(e.cost[1], 4.0) << w.queries[i].name;
+    }
+  }
+}
+
+TEST(OptimizerServiceTest, DestructionCancelsPendingSessions) {
+  const Workload w = MakeWorkload(/*num_random=*/2, /*random_tables=*/5);
+  SubmitOptions submit = SmallSubmitOptions();
+  submit.max_iterations = 1000000;
+  // Destroying a service with queued work must neither hang nor crash.
+  OptimizerService service(w.catalog, SmallServiceOptions(2));
+  for (const Query& q : w.queries) {
+    ASSERT_TRUE(service.Submit(q, submit).ok());
+  }
+}
+
+TEST(OptimizerServiceTest, DestructionUnblocksInFlightWaiters) {
+  // A thread blocked in Wait() while the service is destroyed must be
+  // drained (observing kCancelled), not left touching freed members.
+  const Workload w = MakeWorkload(/*num_random=*/1, /*random_tables=*/5);
+  SubmitOptions submit = SmallSubmitOptions();
+  submit.max_iterations = 1000000;
+  QueryResult observed;
+  std::thread waiter;
+  {
+    OptimizerService service(w.catalog, SmallServiceOptions(1));
+    const QueryId id = service.Submit(w.queries.back(), submit).value();
+    waiter = std::thread([&] { observed = service.Wait(id); });
+    // Race-free: the waiter registers under the service mutex before
+    // blocking, so once observed it is pinned through destruction.
+    while (service.active_waiters() == 0) std::this_thread::yield();
+    // Service destroyed here, with the waiter blocked inside Wait().
+  }
+  waiter.join();
+  EXPECT_EQ(observed.state, QueryState::kCancelled);
+}
+
+TEST(OptimizerServiceTest, StressManyConcurrentClients) {
+  // TSan target: several client threads submitting duplicate queries
+  // (cache hits race with fresh runs) while the scheduler steps.
+  const Workload w = MakeWorkload(/*num_random=*/2);
+  OptimizerService service(w.catalog, SmallServiceOptions(4));
+  const SubmitOptions submit = SmallSubmitOptions(3);
+  std::atomic<int> done{0};
+  const int kClients = 4;
+  const int kPerClient = 6;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < kPerClient; ++i) {
+        // i >= 3 resubmits a query this client already completed, so at
+        // least kPerClient - 3 submissions per client must hit the cache.
+        const Query& q = w.queries[i % 3];
+        StatusOr<QueryId> id =
+            service.Submit(q, submit, [](QueryId, const FrontierSnapshot&) {});
+        ASSERT_TRUE(id.ok());
+        const QueryResult r = service.Wait(id.value());
+        EXPECT_EQ(r.state, QueryState::kDone);
+        EXPECT_FALSE(r.frontier.plans.empty());
+        ++done;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(done.load(), kClients * kPerClient);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, static_cast<uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(stats.completed, stats.submitted);
+  EXPECT_GE(stats.cache_hits,
+            static_cast<uint64_t>(kClients * (kPerClient - 3)));
+}
+
+TEST(CanonicalQueryKeyTest, IgnoresNamesAliasesAndJoinOrientation) {
+  const Catalog catalog = MakeTpchCatalog();
+  const Query q = TpchQueryBlocks(catalog).front();
+  const SubmitOptions submit = SmallSubmitOptions();
+  const MetricSchema schema = MetricSchema::Standard3();
+  const std::string base = CanonicalQueryKey(q, schema, submit);
+
+  Query renamed = q;
+  renamed.name = "other";
+  for (TableRef& t : renamed.tables) t.alias += "_z";
+  EXPECT_EQ(CanonicalQueryKey(renamed, schema, submit), base);
+
+  Query flipped = q;
+  std::swap(flipped.joins[0].left, flipped.joins[0].right);
+  EXPECT_EQ(CanonicalQueryKey(flipped, schema, submit), base);
+}
+
+TEST(CanonicalQueryKeyTest, DistinguishesResultAffectingChanges) {
+  const Catalog catalog = MakeTpchCatalog();
+  const std::vector<Query> blocks = TpchQueryBlocks(catalog);
+  const Query q = blocks.front();
+  const SubmitOptions submit = SmallSubmitOptions();
+  const MetricSchema schema = MetricSchema::Standard3();
+  const std::string base = CanonicalQueryKey(q, schema, submit);
+
+  Query different_sel = q;
+  different_sel.tables[0].predicate_selectivity *= 0.5;
+  EXPECT_NE(CanonicalQueryKey(different_sel, schema, submit), base);
+
+  SubmitOptions finer = submit;
+  finer.iama.schedule = ResolutionSchedule(7, 1.02, 0.3);
+  EXPECT_NE(CanonicalQueryKey(q, schema, finer), base);
+
+  SubmitOptions bounded = submit;
+  bounded.iama.initial_bounds = CostVector::Infinite(3);
+  EXPECT_NE(CanonicalQueryKey(q, schema, bounded), base);
+
+  SubmitOptions more_iters = submit;
+  more_iters.max_iterations = 11;
+  EXPECT_NE(CanonicalQueryKey(q, schema, more_iters), base);
+
+  // Join *sequence* is result-affecting (interesting-order tags), so two
+  // predicates in swapped positions must not share a cache line.
+  if (q.joins.size() >= 2 &&
+      !(q.joins[0].left == q.joins[1].left &&
+        q.joins[0].right == q.joins[1].right)) {
+    Query reordered = q;
+    std::swap(reordered.joins[0], reordered.joins[1]);
+    EXPECT_NE(CanonicalQueryKey(reordered, schema, submit), base);
+  }
+}
+
+}  // namespace
+}  // namespace moqo

@@ -2,6 +2,7 @@
 #ifndef MOQO_TESTS_TEST_HELPERS_H_
 #define MOQO_TESTS_TEST_HELPERS_H_
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <vector>
@@ -58,6 +59,25 @@ inline std::vector<CostVector> CostsOf(
   costs.reserve(entries.size());
   for (const auto& e : entries) costs.push_back(e.cost);
   return costs;
+}
+
+// Sorted (lexicographic) cost vectors of a result frontier, with the
+// plans' interesting-order and resolution tags folded in, for exact
+// ("bit-identical") frontier equality assertions.
+inline std::vector<std::vector<double>> FrontierSignature(
+    const std::vector<CellIndex::Entry>& entries) {
+  std::vector<std::vector<double>> sig;
+  sig.reserve(entries.size());
+  for (const CellIndex::Entry& e : entries) {
+    std::vector<double> row;
+    row.reserve(static_cast<size_t>(e.cost.dims()) + 2);
+    for (int i = 0; i < e.cost.dims(); ++i) row.push_back(e.cost[i]);
+    row.push_back(static_cast<double>(e.order));
+    row.push_back(static_cast<double>(e.resolution));
+    sig.push_back(std::move(row));
+  }
+  std::sort(sig.begin(), sig.end());
+  return sig;
 }
 
 }  // namespace moqo

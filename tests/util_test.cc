@@ -72,6 +72,51 @@ TEST(TableSetTest, SubsetIterOnSingleton) {
   EXPECT_EQ(count, 0);
 }
 
+TEST(TableSetTest, SubsetIterOnEmptySet) {
+  int count = 0;
+  for (SubsetIter it{TableSet()}; !it.Done(); it.Next()) ++count;
+  EXPECT_EQ(count, 0);
+}
+
+TEST(TableSetTest, SubsetIterOnFullSixteenTableSet) {
+  // The largest supported query block: 2^16 - 2 proper non-empty subsets,
+  // each split exact and disjoint.
+  const TableSet full = TableSet::Full(kMaxTables);
+  EXPECT_EQ(full.mask(), 0xFFFFu);
+  EXPECT_EQ(full.Count(), kMaxTables);
+  size_t count = 0;
+  for (SubsetIter it(full); !it.Done(); it.Next()) {
+    ++count;
+    EXPECT_EQ(it.Subset().Union(it.Complement()), full);
+    EXPECT_FALSE(it.Subset().Intersects(it.Complement()));
+  }
+  EXPECT_EQ(count, (size_t{1} << kMaxTables) - 2);
+}
+
+TEST(TableSetTest, TableIterOnEmptySingletonAndFullSets) {
+  EXPECT_TRUE(TableIter(TableSet()).Done());
+
+  TableIter single(TableSet::Singleton(kMaxTables - 1));
+  EXPECT_EQ(single.Table(), kMaxTables - 1);
+  single.Next();
+  EXPECT_TRUE(single.Done());
+
+  std::vector<int> tables;
+  for (TableIter it(TableSet::Full(kMaxTables)); !it.Done(); it.Next()) {
+    tables.push_back(it.Table());
+  }
+  ASSERT_EQ(tables.size(), static_cast<size_t>(kMaxTables));
+  for (int i = 0; i < kMaxTables; ++i) EXPECT_EQ(tables[i], i);
+}
+
+TEST(TableSetTest, ConstructorGuardsRejectOutOfRangeIndices) {
+  // Shifts by out-of-range amounts are UB; the guards must fire before.
+  EXPECT_DEATH(TableSet::Singleton(-1), "table");
+  EXPECT_DEATH(TableSet::Singleton(kMaxTables), "table");
+  EXPECT_DEATH(TableSet::Full(-1), "num_tables");
+  EXPECT_DEATH(TableSet::Full(kMaxTables + 1), "num_tables");
+}
+
 TEST(RngTest, DeterministicGivenSeed) {
   Rng a(42), b(42), c(43);
   EXPECT_EQ(a.Next(), b.Next());
