@@ -1,24 +1,34 @@
 // bench_service_throughput — service-level scaling study: queries/sec and
-// p99 time-to-first-frontier as functions of the number of in-flight
-// queries and the shared pool's thread count.
+// p99 time-to-first-frontier as functions of scheduler shard count and
+// the number of in-flight queries, at a fixed total worker budget.
 //
-// The workload mixes TPC-H join blocks (2-6 tables) with random-topology
-// queries; each configuration replays the same query list in waves of
-// `inflight` concurrently admitted sessions. The frontier cache is
-// disabled so every wave pays full optimization cost.
+// The workload is 10-table random-topology queries (per the roadmap:
+// small queries have steps too short to expose scheduler serialization —
+// at 10 tables each anytime step does real enumeration work, so flat qps
+// vs. shard count would indicate a scheduling bottleneck, not noise).
+// Each configuration replays the same query list in waves of `inflight`
+// concurrently admitted sessions. The frontier cache and in-flight
+// coalescing are disabled so every wave pays full optimization cost.
 //
-// Output rows:
-//   threads  inflight  queries  wall_s  qps  ttff_p50_ms  ttff_p99_ms
+// Output: a self-describing table on stdout, plus BENCH_service.json in
+// the working directory so the perf trajectory is tracked across PRs.
+//
+// Usage:
+//   ./build/bench_service_throughput [threads] [--full]
+//     threads  total worker budget shared by all shards (default 8)
+//     --full   larger workload + wider sweep (machine-scale)
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "catalog/tpch.h"
 #include "query/generator.h"
-#include "query/tpch_queries.h"
 #include "service/optimizer_service.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -29,33 +39,40 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 // Keeps enumeration per query moderate so a full sweep of configurations
-// stays laptop-scale while the pool still has real work per step.
+// stays laptop-scale while each step still has real work for the pool.
 OperatorOptions ServiceBenchOperatorOptions() {
   OperatorOptions options;
-  options.max_workers = 8;
-  options.max_sampling_rates_per_table = 2;
+  options.max_workers = 4;
+  options.max_sampling_rates_per_table = 1;
   return options;
 }
 
 struct ConfigResult {
+  int shards = 0;
+  size_t inflight = 0;
+  size_t queries = 0;
   double wall_s = 0.0;
   std::vector<double> ttff_ms;
-  size_t queries = 0;
+  ServiceStats stats;
 };
 
 ConfigResult RunConfig(const Catalog& catalog,
                        const std::vector<Query>& workload, int threads,
-                       size_t inflight) {
+                       int shards, size_t inflight, int levels) {
   ServiceOptions service_options;
   service_options.num_threads = threads;
+  service_options.num_shards = shards;
   service_options.frontier_cache_capacity = 0;  // Measure real work.
+  service_options.coalesce_in_flight = false;   // Every submission runs.
   service_options.operator_options = ServiceBenchOperatorOptions();
   OptimizerService service(catalog, service_options);
 
   SubmitOptions submit;
-  submit.iama.schedule = ResolutionSchedule::Moderate(5);
+  submit.iama.schedule = ResolutionSchedule::Moderate(levels);
 
   ConfigResult result;
+  result.shards = shards;
+  result.inflight = inflight;
   const Clock::time_point wall_start = Clock::now();
   for (size_t base = 0; base < workload.size(); base += inflight) {
     const size_t wave_end = std::min(base + inflight, workload.size());
@@ -86,46 +103,107 @@ ConfigResult RunConfig(const Catalog& catalog,
     }
   }
   result.wall_s = MillisSince(wall_start) / 1000.0;
+  result.stats = service.stats();
   return result;
 }
 
 }  // namespace
 }  // namespace moqo
 
-int main() {
+int main(int argc, char** argv) {
   using namespace moqo;
 
+  int threads = 8;
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      full = true;
+    } else {
+      threads = std::atoi(argv[i]);
+      if (threads < 1) {
+        std::fprintf(stderr,
+                     "usage: bench_service_throughput [threads] [--full]\n");
+        return 1;
+      }
+    }
+  }
+
+  // 10-table random topologies: large enough that one anytime step is
+  // real work, mixed shapes so shard turns have uneven lengths (the
+  // head-of-line case work stealing is meant to fix).
+  const int kNumTables = 10;
+  const int num_queries = full ? 12 : 6;
+  const int levels = full ? 4 : 3;
   Catalog catalog = MakeTpchCatalog();
   std::vector<Query> workload;
-  for (const Query& q : TpchQueryBlocks(catalog)) {
-    if (q.NumTables() <= 6) workload.push_back(q);
-  }
   Rng rng(77);
   const Topology topologies[] = {Topology::kChain, Topology::kStar,
                                  Topology::kCycle, Topology::kRandomTree};
-  for (int i = 0; i < 8; ++i) {
+  for (int i = 0; i < num_queries; ++i) {
     GeneratorOptions gen;
-    gen.num_tables = 5;
+    gen.num_tables = kNumTables;
     gen.topology = topologies[i % 4];
     Query q = RandomQuery(rng, gen, &catalog);
-    q.name = "rand" + std::to_string(i);
+    q.name = "rand10_" + std::to_string(i);
     workload.push_back(std::move(q));
   }
 
-  std::printf("# service throughput: %zu queries per configuration\n",
-              workload.size());
-  std::printf("%8s %9s %8s %8s %8s %12s %12s\n", "threads", "inflight",
-              "queries", "wall_s", "qps", "ttff_p50_ms", "ttff_p99_ms");
-  const int thread_counts[] = {1, 2, 4, 8};
-  const size_t inflights[] = {1, 8, 16};
-  for (int threads : thread_counts) {
+  std::vector<int> shard_counts = {1, 2, 4};
+  if (full && threads >= 8) shard_counts.push_back(8);
+  std::vector<size_t> inflights = {1, 4,
+                                   static_cast<size_t>(num_queries)};
+
+  std::printf("# service throughput: %zu queries x %d tables per "
+              "configuration, %d worker threads total\n",
+              workload.size(), kNumTables, threads);
+  std::printf("%7s %9s %8s %8s %8s %12s %12s %10s %8s\n", "shards",
+              "inflight", "queries", "wall_s", "qps", "ttff_p50_ms",
+              "ttff_p99_ms", "steps", "steals");
+
+  std::string json = "{\n  \"bench\": \"service_throughput\",\n";
+  json += "  \"total_threads\": " + std::to_string(threads) + ",\n";
+  json += "  \"num_tables\": " + std::to_string(kNumTables) + ",\n";
+  json += "  \"levels\": " + std::to_string(levels) + ",\n";
+  json += "  \"queries_per_config\": " + std::to_string(workload.size()) +
+          ",\n  \"configs\": [";
+  bool first_row = true;
+  for (int shards : shard_counts) {
+    if (shards > threads) continue;  // Do not oversubscribe the budget.
     for (size_t inflight : inflights) {
-      const ConfigResult r = RunConfig(catalog, workload, threads, inflight);
-      std::printf("%8d %9zu %8zu %8.3f %8.2f %12.3f %12.3f\n", threads,
-                  inflight, r.queries, r.wall_s,
-                  r.wall_s > 0.0 ? r.queries / r.wall_s : 0.0,
-                  Percentile(r.ttff_ms, 0.50), Percentile(r.ttff_ms, 0.99));
+      const ConfigResult r =
+          RunConfig(catalog, workload, threads, shards, inflight, levels);
+      const double qps = r.wall_s > 0.0 ? r.queries / r.wall_s : 0.0;
+      const double p50 = Percentile(r.ttff_ms, 0.50);
+      const double p99 = Percentile(r.ttff_ms, 0.99);
+      std::printf("%7d %9zu %8zu %8.3f %8.2f %12.3f %12.3f %10llu %8llu\n",
+                  shards, inflight, r.queries, r.wall_s, qps, p50, p99,
+                  static_cast<unsigned long long>(r.stats.steps_executed),
+                  static_cast<unsigned long long>(r.stats.work_steals));
+      std::fflush(stdout);
+      char row[512];
+      std::snprintf(row, sizeof(row),
+                    "%s\n    {\"shards\": %d, \"inflight\": %zu, "
+                    "\"queries\": %zu, \"wall_s\": %.6f, \"qps\": %.3f, "
+                    "\"ttff_p50_ms\": %.3f, \"ttff_p99_ms\": %.3f, "
+                    "\"steps\": %llu, \"work_steals\": %llu}",
+                    first_row ? "" : ",", shards, inflight, r.queries,
+                    r.wall_s, qps, p50, p99,
+                    static_cast<unsigned long long>(r.stats.steps_executed),
+                    static_cast<unsigned long long>(r.stats.work_steals));
+      json += row;
+      first_row = false;
     }
+  }
+  json += "\n  ]\n}\n";
+
+  const char* json_path = "BENCH_service.json";
+  if (std::FILE* f = std::fopen(json_path, "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("# wrote %s\n", json_path);
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", json_path);
+    return 1;
   }
   return 0;
 }

@@ -3,13 +3,16 @@
 // queries, all optimized concurrently on one shared worker pool.
 //
 // Usage:
-//   ./build/workload_server [--threads N] [--random N] [--repeat N]
-//                           [--deadline-ms D]
+//   ./build/workload_server [--threads N] [--shards N] [--random N]
+//                           [--repeat N] [--deadline-ms D]
 //
-//   --threads N      shared pool size (default 4)
+//   --threads N      total worker budget across all shards (default 4)
+//   --shards N       scheduler shards, each with its own run queue and
+//                    pool partition (default 2)
 //   --random N       number of random-topology queries mixed in (default 8)
 //   --repeat N       how many times the stream is replayed (default 2);
-//                    replays after the first are served from the frontier
+//                    duplicates still in flight coalesce onto the running
+//                    leader, later replays are served from the frontier
 //                    cache
 //   --deadline-ms D  per-query deadline (default: none)
 //
@@ -63,6 +66,7 @@ const char* StateName(QueryState s) {
 
 int main(int argc, char** argv) {
   int threads = 4;
+  int shards = 2;
   int num_random = 8;
   int repeat = 2;
   double deadline_ms = 0.0;
@@ -71,6 +75,8 @@ int main(int argc, char** argv) {
     const bool has_next = i + 1 < argc;
     if (arg == "--threads" && has_next) {
       threads = std::atoi(argv[++i]);
+    } else if (arg == "--shards" && has_next) {
+      shards = std::atoi(argv[++i]);
     } else if (arg == "--random" && has_next) {
       num_random = std::atoi(argv[++i]);
     } else if (arg == "--repeat" && has_next) {
@@ -79,12 +85,13 @@ int main(int argc, char** argv) {
       deadline_ms = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr,
-                   "usage: workload_server [--threads N] [--random N] "
-                   "[--repeat N] [--deadline-ms D]\n");
+                   "usage: workload_server [--threads N] [--shards N] "
+                   "[--random N] [--repeat N] [--deadline-ms D]\n");
       return 1;
     }
   }
-  if (threads < 1 || num_random < 0 || repeat < 1 || deadline_ms < 0.0) {
+  if (threads < 1 || shards < 1 || num_random < 0 || repeat < 1 ||
+      deadline_ms < 0.0) {
     std::fprintf(stderr, "invalid flag value\n");
     return 1;
   }
@@ -107,27 +114,29 @@ int main(int argc, char** argv) {
 
   ServiceOptions service_options;
   service_options.num_threads = threads;
+  service_options.num_shards = shards;
   OptimizerService service(catalog, service_options);
 
   SubmitOptions submit;
   submit.iama.schedule = ResolutionSchedule::Moderate(5);
   submit.deadline_ms = deadline_ms;
 
-  std::printf("workload_server: %zu queries x %d replays, %d threads, "
-              "deadline %s\n\n",
-              stream.size(), repeat, threads,
+  std::printf("workload_server: %zu queries x %d replays, %d threads x %d "
+              "shards, deadline %s\n\n",
+              stream.size(), repeat, threads, shards,
               deadline_ms > 0.0
                   ? (std::to_string(deadline_ms) + " ms").c_str()
                   : "none");
 
-  std::printf("%-10s %-10s %6s %6s %10s %8s\n", "query", "state", "iters",
-              "plans", "ttff_ms", "cached");
+  std::printf("%-10s %-10s %6s %6s %10s %8s %6s\n", "query", "state",
+              "iters", "plans", "ttff_ms", "cached", "coal");
   std::vector<double> ttffs;
   size_t total_queries = 0;
   const Clock::time_point wall_start = Clock::now();
-  // Each round replays the full stream concurrently; the round barrier
-  // lets later rounds hit the frontier cache (the cache fills when a
-  // session completes — in-flight duplicates are not coalesced).
+  // Each round replays the full stream concurrently. Duplicates whose
+  // first copy is still in flight coalesce onto the running leader; the
+  // round barrier lets fully completed rounds serve later ones from the
+  // frontier cache.
   for (int round = 0; round < repeat; ++round) {
     std::vector<std::unique_ptr<Track>> tracks;
     for (const Query& query : stream) {
@@ -158,10 +167,11 @@ int main(int argc, char** argv) {
         ttffs.push_back(ttff);  // Only real frontiers enter the stats.
         std::snprintf(ttff_text, sizeof(ttff_text), "%.3f", ttff);
       }
-      std::printf("%-10s %-10s %6d %6zu %10s %8s\n", t->name.c_str(),
+      std::printf("%-10s %-10s %6d %6zu %10s %8s %6s\n", t->name.c_str(),
                   StateName(result.state), result.iterations,
                   result.frontier.plans.size(), ttff_text,
-                  result.from_cache ? "yes" : "no");
+                  result.from_cache ? "yes" : "no",
+                  result.coalesced ? "yes" : "no");
     }
   }
   const double wall_s = MillisSince(wall_start) / 1000.0;
@@ -174,10 +184,13 @@ int main(int argc, char** argv) {
               "p99 %.3f ms\n",
               ttffs.size(), Percentile(ttffs, 0.50),
               Percentile(ttffs, 0.99));
-  std::printf("steps %llu, completed %llu, expired %llu, cache hits %llu\n",
+  std::printf("steps %llu, completed %llu, expired %llu, cache hits %llu, "
+              "coalesced %llu, work steals %llu\n",
               static_cast<unsigned long long>(stats.steps_executed),
               static_cast<unsigned long long>(stats.completed),
               static_cast<unsigned long long>(stats.expired),
-              static_cast<unsigned long long>(stats.cache_hits));
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.coalesced),
+              static_cast<unsigned long long>(stats.work_steals));
   return 0;
 }

@@ -60,6 +60,12 @@ bool IamaSession::ApplyAction(const UserAction& action) {
   return false;
 }
 
+bool IamaSession::SetBounds(const CostVector& bounds) {
+  if (bounds.dims() != bounds_.dims()) return false;
+  ApplyAction(UserAction::SetBounds(bounds));
+  return true;
+}
+
 SessionResult IamaSession::Run(
     InteractionPolicy* policy, int max_iterations,
     const std::function<void(const FrontierSnapshot&)>& observer) {

@@ -117,6 +117,19 @@ class IncrementalOptimizer {
   // Lets callers and tests pin the pool-wins contract.
   const ThreadPool* pool() const { return pool_; }
   bool owns_pool() const { return owned_pool_ != nullptr; }
+  // Swaps the injected pool phase 2 runs on; `pool` may be null (serial
+  // path). For serving layers whose schedulers step one optimizer from
+  // different threads over its lifetime (work stealing): each stepping
+  // thread rebinds the optimizer to its own pool partition before
+  // Optimize, so no pool ever sees two concurrent ParallelFor callers.
+  // Only legal between invocations, from the thread driving the
+  // optimizer, and only on optimizers that do not own their pool.
+  // Thread counts never affect results, so rebinding never changes
+  // frontiers.
+  void RebindPool(ThreadPool* pool) {
+    MOQO_CHECK(owned_pool_ == nullptr);
+    pool_ = pool;
+  }
   const PlanArena& arena() const { return arena_; }
   const ResolutionSchedule& schedule() const { return schedule_; }
   const Counters& counters() const { return counters_; }

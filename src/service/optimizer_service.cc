@@ -23,6 +23,19 @@ int ResolvedMaxIterations(const SubmitOptions& options) {
                                     : options.iama.schedule.NumLevels();
 }
 
+// Stable across platforms and standard-library versions, unlike
+// std::hash<std::string> — shard placement is part of the service's
+// documented behavior (duplicates land on one shard), so it should not
+// shift between toolchains.
+uint64_t Fnv1a64(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 }  // namespace
 
 std::string CanonicalQueryKey(const Query& query, const MetricSchema& schema,
@@ -83,31 +96,71 @@ std::string CanonicalQueryKey(const Query& query, const MetricSchema& schema,
   return key;
 }
 
-struct OptimizerService::SessionState {
+// One submitted query: its observer, scheduling parameters, and the run
+// it is attached to (its own for a leader; a shared one for a follower).
+struct OptimizerService::QueryEntry {
   QueryId id = kInvalidQueryId;
-  Query query;
-  SubmitOptions options;
   SnapshotObserver observer;
-  std::string cache_key;
-  int max_iterations = 0;
+  int priority = 1;
   bool has_deadline = false;
   Clock::time_point deadline;
+  // True when this submission attached to an in-flight duplicate (stays
+  // true through leadership promotion).
+  bool coalesced = false;
+  // Snapshots delivered to this entry's observer, credited at turn
+  // boundaries under mu_; completion delivers the final frontier to
+  // observers still at 0.
+  int snapshots_seen = 0;
   std::atomic<bool> cancel_requested{false};
-  // Scheduler-thread-only state (built lazily on the first turn):
+  RunState* run = nullptr;
+};
+
+// One physical optimization: the session plus the queries riding on it.
+// Queue membership, leadership, followers, pending bounds, and the
+// published snapshot are guarded by mu_; factory/session/steps_done/
+// last_snapshot belong to the shard thread whose turn it is (a run is
+// never in a queue while being stepped, and turn boundaries acquire mu_,
+// ordering successive turns even across different shard threads).
+struct OptimizerService::RunState {
+  uint64_t run_id = 0;
+  std::string key;
+  Query query;
+  IamaOptions iama;  // From the founding submission (key-equal for all).
+  int max_iterations = 0;
+  size_t home_shard = 0;
+  QueryId leader = kInvalidQueryId;
+  std::vector<QueryId> followers;  // Attach order; promotion order.
+  // ApplyBounds happened: the result no longer matches `key`, so no new
+  // followers attach and the cache is not filled on completion.
+  bool diverged = false;
+  std::optional<CostVector> pending_bounds;
+  // Shard-thread-only state (built lazily on the first turn):
   std::unique_ptr<PlanFactory> factory;
   std::unique_ptr<IamaSession> session;
   int steps_done = 0;
   FrontierSnapshot last_snapshot;
+  // Published under mu_ at turn boundaries, for follower attach/cancel/
+  // expiry results between turns.
+  std::shared_ptr<const FrontierSnapshot> last_published;
+  int steps_published = 0;
 };
 
 OptimizerService::OptimizerService(const Catalog& catalog,
                                    ServiceOptions options)
     : catalog_(catalog), options_(std::move(options)) {
   MOQO_CHECK(options_.num_threads >= 1);
-  if (options_.num_threads > 1) {
-    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  MOQO_CHECK(options_.num_shards >= 1);
+  const std::vector<int> partition =
+      PartitionThreads(options_.num_threads, options_.num_shards);
+  pools_.resize(partition.size());
+  for (size_t i = 0; i < partition.size(); ++i) {
+    if (partition[i] > 1) pools_[i] = std::make_unique<ThreadPool>(partition[i]);
   }
-  scheduler_ = std::thread([this] { SchedulerLoop(); });
+  shard_queues_.resize(static_cast<size_t>(options_.num_shards));
+  schedulers_.reserve(static_cast<size_t>(options_.num_shards));
+  for (size_t i = 0; i < static_cast<size_t>(options_.num_shards); ++i) {
+    schedulers_.emplace_back([this, i] { SchedulerLoop(i); });
+  }
 }
 
 OptimizerService::~OptimizerService() {
@@ -116,13 +169,18 @@ OptimizerService::~OptimizerService() {
     stop_ = true;
   }
   work_cv_.notify_all();
-  scheduler_.join();
+  for (std::thread& t : schedulers_) t.join();
   std::unique_lock<std::mutex> lock(mu_);
-  run_queue_.clear();
-  // Unblock any Wait() on sessions the scheduler never finished.
-  while (!sessions_.empty()) {
-    FinalizeLocked(sessions_.begin()->second.get(), QueryState::kCancelled);
+  for (std::deque<uint64_t>& q : shard_queues_) q.clear();
+  // Unblock any Wait() on queries the shards never finished.
+  while (!entries_.empty()) {
+    QueryEntry* entry = entries_.begin()->second.get();
+    const RunState* run = entry->run;
+    FinalizeEntryLocked(entry, QueryState::kCancelled, run->last_published,
+                        run->steps_published);
   }
+  runs_.clear();
+  inflight_.clear();
   // Drain threads already inside Wait(): they still touch mu_, done_cv_,
   // and results_, which must not be destroyed under them.
   waiters_cv_.wait(lock, [this] { return waiters_ == 0; });
@@ -157,21 +215,21 @@ StatusOr<QueryId> OptimizerService::Submit(const Query& query,
         "::num_threads); leave it at 1");
   }
 
-  // The cache key is only worth computing when a cache exists.
-  const std::string key =
-      options_.frontier_cache_capacity > 0
-          ? CanonicalQueryKey(query, options_.schema, options)
-          : std::string();
+  // The canonical key drives shard placement, the completed-run cache,
+  // and in-flight coalescing, so it is always computed.
+  const std::string key = CanonicalQueryKey(query, options_.schema, options);
   const int max_iterations = ResolvedMaxIterations(options);
 
   QueryId id = kInvalidQueryId;
   // Set on a cache hit; streamed to the observer outside the lock.
   std::shared_ptr<const FrontierSnapshot> cached;
+  bool notify = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     id = next_id_++;
     ++stats_.submitted;
-    auto hit = key.empty() ? cache_index_.end() : cache_index_.find(key);
+    auto hit = options_.frontier_cache_capacity > 0 ? cache_index_.find(key)
+                                                    : cache_index_.end();
     if (hit != cache_index_.end()) {
       cache_lru_.splice(cache_lru_.begin(), cache_lru_, hit->second);
       const CacheEntry& entry = cache_lru_.front().second;
@@ -186,29 +244,51 @@ StatusOr<QueryId> OptimizerService::Submit(const Query& query,
       ++stats_.completed;
       cached = entry.frontier;
     } else {
-      auto state = std::make_unique<SessionState>();
-      state->id = id;
-      state->query = query;
-      state->options = std::move(options);
-      state->observer = std::move(observer);
-      state->cache_key = key;
-      state->max_iterations = max_iterations;
-      if (state->options.deadline_ms > 0.0) {
-        state->has_deadline = true;
-        state->deadline =
+      auto entry = std::make_unique<QueryEntry>();
+      entry->id = id;
+      entry->observer = std::move(observer);
+      entry->priority = options.priority;
+      if (options.deadline_ms > 0.0) {
+        entry->has_deadline = true;
+        entry->deadline =
             Clock::now() + std::chrono::duration_cast<Clock::duration>(
                                std::chrono::duration<double, std::milli>(
-                                   state->options.deadline_ms));
+                                   options.deadline_ms));
       }
-      sessions_.emplace(id, std::move(state));
-      run_queue_.push_back(id);
+      auto flight = options_.coalesce_in_flight ? inflight_.find(key)
+                                                : inflight_.end();
+      if (flight != inflight_.end()) {
+        // Coalesce: ride the in-flight leader instead of optimizing the
+        // same query a second time.
+        RunState* run = runs_.at(flight->second).get();
+        entry->run = run;
+        entry->coalesced = true;
+        run->followers.push_back(id);
+        ++stats_.coalesced;
+      } else {
+        auto run = std::make_unique<RunState>();
+        run->run_id = next_run_id_++;
+        run->key = key;
+        run->query = query;
+        run->iama = options.iama;
+        run->max_iterations = max_iterations;
+        run->home_shard = static_cast<size_t>(
+            Fnv1a64(key) % static_cast<uint64_t>(options_.num_shards));
+        run->leader = id;
+        entry->run = run.get();
+        if (options_.coalesce_in_flight) inflight_[key] = run->run_id;
+        shard_queues_[run->home_shard].push_back(run->run_id);
+        runs_.emplace(run->run_id, std::move(run));
+        notify = true;
+      }
+      entries_.emplace(id, std::move(entry));
     }
   }
   if (cached != nullptr) {
     // Stream the cached final frontier as the one and only snapshot.
     // (Waiters were already notified inside the lock.)
     if (observer) observer(id, *cached);
-  } else {
+  } else if (notify) {
     work_cv_.notify_one();
   }
   return id;
@@ -216,10 +296,48 @@ StatusOr<QueryId> OptimizerService::Submit(const Query& query,
 
 bool OptimizerService::Cancel(QueryId id) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = sessions_.find(id);
-  if (it == sessions_.end()) return false;
-  it->second->cancel_requested.store(true, std::memory_order_relaxed);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  QueryEntry* entry = it->second.get();
+  entry->cancel_requested.store(true, std::memory_order_relaxed);
+  RunState* run = entry->run;
+  if (run->leader != id) {
+    // A follower detaches immediately: the run (and its other riders)
+    // are unaffected, so there is no turn boundary to wait for.
+    run->followers.erase(
+        std::find(run->followers.begin(), run->followers.end(), id));
+    FinalizeEntryLocked(entry, QueryState::kCancelled, run->last_published,
+                        run->steps_published);
+  }
+  // Leaders are finalized by the shard thread at the next step boundary
+  // (possibly handing leadership to the oldest follower).
   return true;
+}
+
+Status OptimizerService::ApplyBounds(QueryId id, const CostVector& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown or already finished query id");
+  }
+  if (bounds.dims() != options_.schema.dims()) {
+    return Status::InvalidArgument(
+        "bounds dimension does not match the service metric schema");
+  }
+  RunState* run = it->second->run;
+  // Applied by the stepping shard at the next turn boundary; several
+  // ApplyBounds before that boundary collapse to the latest one.
+  run->pending_bounds = bounds;
+  if (!run->diverged) {
+    // The run's result no longer corresponds to its canonical key:
+    // stop new duplicates from attaching and keep it out of the cache.
+    run->diverged = true;
+    auto flight = inflight_.find(run->key);
+    if (flight != inflight_.end() && flight->second == run->run_id) {
+      inflight_.erase(flight);
+    }
+  }
+  return Status::OK();
 }
 
 QueryResult OptimizerService::Wait(QueryId id) {
@@ -233,7 +351,7 @@ QueryResult OptimizerService::Wait(QueryId id) {
     ++wait_counts_[id];
     done_cv_.wait(lock, [&] {
       return results_.find(id) != results_.end() ||
-             sessions_.find(id) == sessions_.end();
+             entries_.find(id) == entries_.end();
     });
     auto it = results_.find(id);
     if (it != results_.end()) {
@@ -242,6 +360,7 @@ QueryResult OptimizerService::Wait(QueryId id) {
       result.state = stored.state;
       result.iterations = stored.iterations;
       result.from_cache = stored.from_cache;
+      result.coalesced = stored.coalesced;
       frontier = stored.frontier;  // Shared; deep copy happens unlocked.
     }  // else: unknown id — result stays default-constructed.
     auto wit = wait_counts_.find(id);
@@ -262,14 +381,47 @@ int OptimizerService::active_waiters() const {
   return waiters_;
 }
 
-void OptimizerService::BuildSession(SessionState* s) {
-  s->factory = std::make_unique<PlanFactory>(
-      s->query, catalog_, options_.schema, options_.cost_params,
+bool OptimizerService::AnyQueuedLocked() const {
+  for (const std::deque<uint64_t>& q : shard_queues_) {
+    if (!q.empty()) return true;
+  }
+  return false;
+}
+
+uint64_t OptimizerService::PopRunLocked(size_t shard) {
+  std::deque<uint64_t>& own = shard_queues_[shard];
+  if (!own.empty()) {
+    const uint64_t id = own.front();
+    own.pop_front();
+    return id;
+  }
+  // Steal from the back of the largest other queue: the back is the run
+  // farthest from its home shard's attention, so stealing it interferes
+  // least with the victim's round-robin order.
+  size_t victim = shard;
+  size_t victim_size = 0;
+  for (size_t j = 0; j < shard_queues_.size(); ++j) {
+    if (j != shard && shard_queues_[j].size() > victim_size) {
+      victim = j;
+      victim_size = shard_queues_[j].size();
+    }
+  }
+  MOQO_CHECK(victim != shard);  // Caller guarantees AnyQueuedLocked().
+  const uint64_t id = shard_queues_[victim].back();
+  shard_queues_[victim].pop_back();
+  ++stats_.work_steals;
+  return id;
+}
+
+void OptimizerService::BuildRun(RunState* run) {
+  run->factory = std::make_unique<PlanFactory>(
+      run->query, catalog_, options_.schema, options_.cost_params,
       options_.operator_options);
-  IamaOptions iama = s->options.iama;
-  iama.optimizer.pool = pool_.get();  // Shared pool (may be null).
-  iama.optimizer.num_threads = 1;     // The service owns all parallelism.
-  s->session = std::make_unique<IamaSession>(*s->factory, iama);
+  IamaOptions iama = run->iama;
+  iama.optimizer.pool = nullptr;   // Rebound to the stepping shard's pool
+  iama.optimizer.num_threads = 1;  // each turn; the service owns all
+                                   // parallelism.
+  run->session = std::make_unique<IamaSession>(*run->factory, iama);
 }
 
 void OptimizerService::RecordResultLocked(StoredResult result) {
@@ -296,31 +448,20 @@ void OptimizerService::RecordResultLocked(StoredResult result) {
   done_cv_.notify_all();
 }
 
-void OptimizerService::FinalizeLocked(SessionState* s, QueryState state) {
+void OptimizerService::FinalizeEntryLocked(
+    QueryEntry* entry, QueryState state,
+    std::shared_ptr<const FrontierSnapshot> frontier, int iterations) {
   StoredResult result;
-  result.id = s->id;
+  result.id = entry->id;
   result.state = state;
-  result.iterations = s->steps_done;
-  result.frontier =
-      std::make_shared<const FrontierSnapshot>(std::move(s->last_snapshot));
+  result.iterations = iterations;
+  result.coalesced = entry->coalesced;
+  result.frontier = frontier != nullptr
+                        ? std::move(frontier)
+                        : std::make_shared<const FrontierSnapshot>();
   switch (state) {
     case QueryState::kDone:
       ++stats_.completed;
-      if (options_.frontier_cache_capacity > 0) {
-        auto it = cache_index_.find(s->cache_key);
-        if (it != cache_index_.end()) {
-          cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
-          cache_lru_.front().second = {result.frontier, result.iterations};
-        } else {
-          cache_lru_.emplace_front(
-              s->cache_key, CacheEntry{result.frontier, result.iterations});
-          cache_index_.emplace(s->cache_key, cache_lru_.begin());
-          if (cache_lru_.size() > options_.frontier_cache_capacity) {
-            cache_index_.erase(cache_lru_.back().first);
-            cache_lru_.pop_back();
-          }
-        }
-      }
       break;
     case QueryState::kCancelled:
       ++stats_.cancelled;
@@ -332,71 +473,261 @@ void OptimizerService::FinalizeLocked(SessionState* s, QueryState state) {
       MOQO_CHECK(false);  // Not a terminal state.
   }
   RecordResultLocked(std::move(result));
-  sessions_.erase(s->id);  // Frees the arena and plan indexes.
+  entries_.erase(entry->id);
 }
 
-void OptimizerService::SchedulerLoop() {
+void OptimizerService::SweepExpiredFollowersLocked(RunState* run,
+                                                   Clock::time_point now) {
+  for (size_t i = 0; i < run->followers.size();) {
+    QueryEntry* f = entries_.at(run->followers[i]).get();
+    if (f->has_deadline && now >= f->deadline) {
+      FinalizeEntryLocked(f, QueryState::kExpired, run->last_published,
+                          run->steps_published);
+      run->followers.erase(run->followers.begin() +
+                           static_cast<ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+void OptimizerService::CompleteRunLocked(RunState* run,
+                                         std::vector<LateDelivery>* deliveries) {
+  // Turn boundaries publish before completing, so the published
+  // snapshot is the final frontier (the fallback covers zero-step runs).
+  std::shared_ptr<const FrontierSnapshot> frontier =
+      run->last_published != nullptr
+          ? run->last_published
+          : std::make_shared<const FrontierSnapshot>();
+  if (!run->diverged && options_.frontier_cache_capacity > 0) {
+    auto it = cache_index_.find(run->key);
+    if (it != cache_index_.end()) {
+      cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+      cache_lru_.front().second = {frontier, run->steps_done};
+    } else {
+      cache_lru_.emplace_front(run->key,
+                               CacheEntry{frontier, run->steps_done});
+      cache_index_.emplace(run->key, cache_lru_.begin());
+      if (cache_lru_.size() > options_.frontier_cache_capacity) {
+        cache_index_.erase(cache_lru_.back().first);
+        cache_lru_.pop_back();
+      }
+    }
+  }
+  // The final frontier is owed to every observer that never saw a step
+  // snapshot (followers that attached during or after the last turn, or
+  // a leader promoted after the final step); delivery happens outside
+  // the lock, after all results below are visible to waiters.
+  QueryEntry* leader = entries_.at(run->leader).get();
+  if (leader->observer && leader->snapshots_seen == 0) {
+    deliveries->push_back({run->leader, leader->observer, frontier});
+  }
+  FinalizeEntryLocked(leader, QueryState::kDone, frontier, run->steps_done);
+  for (QueryId fid : run->followers) {
+    QueryEntry* f = entries_.at(fid).get();
+    if (f->observer && f->snapshots_seen == 0) {
+      deliveries->push_back({fid, f->observer, frontier});
+    }
+    FinalizeEntryLocked(f, QueryState::kDone, frontier, run->steps_done);
+  }
+  run->followers.clear();
+  DestroyRunLocked(run);
+}
+
+bool OptimizerService::RetireLeaderLocked(RunState* run, QueryState state) {
+  QueryEntry* leader = entries_.at(run->leader).get();
+  FinalizeEntryLocked(leader, state, run->last_published,
+                      run->steps_published);
+  if (run->followers.empty()) {
+    DestroyRunLocked(run);
+    return false;
+  }
+  run->leader = run->followers.front();
+  run->followers.erase(run->followers.begin());
+  return true;
+}
+
+void OptimizerService::DestroyRunLocked(RunState* run) {
+  auto flight = inflight_.find(run->key);
+  if (flight != inflight_.end() && flight->second == run->run_id) {
+    inflight_.erase(flight);
+  }
+  runs_.erase(run->run_id);  // Frees the arena and plan indexes.
+}
+
+void OptimizerService::SchedulerLoop(size_t shard) {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [&] { return stop_ || !run_queue_.empty(); });
+    work_cv_.wait(lock, [&] { return stop_ || AnyQueuedLocked(); });
     if (stop_) return;
-    const QueryId id = run_queue_.front();
-    run_queue_.pop_front();
-    SessionState* s = sessions_.at(id).get();
-    if (s->cancel_requested.load(std::memory_order_relaxed)) {
-      FinalizeLocked(s, QueryState::kCancelled);
-      continue;
+    const uint64_t rid = PopRunLocked(shard);
+    RunState* run = runs_.at(rid).get();
+    // Adopt the run: it re-enqueues on this shard from now on, so a
+    // steal moves a run once instead of being re-counted (and re-paid)
+    // at every subsequent turn while the victim's queue sits empty.
+    run->home_shard = shard;
+    const Clock::time_point now = Clock::now();
+    SweepExpiredFollowersLocked(run, now);
+    // Pre-step gate: a cancelled or expired leader is finalized before
+    // the (expensive) factory build; leadership hands off to the oldest
+    // follower, and the run dies only when no rider remains. Queued runs
+    // always have steps left (completion happens at turn end), so a
+    // promoted leader continues the run rather than re-enqueueing it
+    // from scratch.
+    bool run_destroyed = false;
+    for (;;) {
+      QueryEntry* gate_leader = entries_.at(run->leader).get();
+      QueryState gate = QueryState::kQueued;  // Sentinel: no event.
+      if (gate_leader->cancel_requested.load(std::memory_order_relaxed)) {
+        gate = QueryState::kCancelled;
+      } else if (gate_leader->has_deadline && now >= gate_leader->deadline) {
+        gate = QueryState::kExpired;
+      }
+      if (gate == QueryState::kQueued) break;
+      if (!RetireLeaderLocked(run, gate)) {
+        run_destroyed = true;
+        break;
+      }
     }
+    if (run_destroyed) continue;
+
+    // Copy the turn's inputs while mu_ is held: the leader entry cannot
+    // be erased during the turn (only the stepping shard finalizes
+    // leaders), so its deadline copy and atomic cancel flag are safe to
+    // read unlocked; follower observers are copied by value because a
+    // follower may Cancel (and its entry be freed) mid-turn.
+    QueryEntry* leader = entries_.at(run->leader).get();
+    const bool has_deadline = leader->has_deadline;
+    const Clock::time_point deadline = leader->deadline;
+    // The run steps at the highest priority among its riders: a
+    // high-priority duplicate accelerates the shared run for everyone.
+    int priority = leader->priority;
+    std::vector<std::pair<QueryId, SnapshotObserver>> observers;
+    if (leader->observer) observers.emplace_back(run->leader, leader->observer);
+    for (QueryId fid : run->followers) {
+      const QueryEntry* f = entries_.at(fid).get();
+      priority = std::max(priority, f->priority);
+      if (f->observer) observers.emplace_back(fid, f->observer);
+    }
+    std::optional<CostVector> pending = std::move(run->pending_bounds);
+    run->pending_bounds.reset();
     lock.unlock();
 
-    // Stepping happens outside the lock: the scheduler thread owns the
-    // session exclusively (it is not in the run queue right now), so
-    // Submit/Cancel/Wait stay responsive during long invocations.
+    // Stepping happens outside the lock: this shard owns the run
+    // exclusively (it is in no queue right now), so Submit/Cancel/Wait/
+    // ApplyBounds stay responsive during long invocations.
+    if (run->session == nullptr) BuildRun(run);
+    // Work stealing may move a run between shards across turns; the
+    // stepping shard's own pool partition keeps every pool single-caller.
+    run->session->RebindPool(pools_[shard].get());
+    if (pending.has_value()) {
+      // Dimensions were validated by ApplyBounds against the service
+      // schema, which every session shares.
+      MOQO_CHECK(run->session->SetBounds(*pending));
+    }
     bool finished = false;
     QueryState end_state = QueryState::kDone;
     int steps_this_turn = 0;
-    // Deadline gate before the (expensive) factory build: a session that
-    // expired while queued must not pay plan-space construction.
-    if (s->has_deadline && Clock::now() >= s->deadline) {
-      finished = true;
-      end_state = QueryState::kExpired;
-    } else if (s->session == nullptr) {
-      BuildSession(s);
-    }
-    for (int i = 0; i < s->options.priority && !finished; ++i) {
-      if (s->has_deadline && Clock::now() >= s->deadline) {
+    for (int i = 0; i < priority && !finished; ++i) {
+      if (has_deadline && Clock::now() >= deadline) {
         finished = true;
         end_state = QueryState::kExpired;
         break;
       }
-      s->last_snapshot = s->session->Step();
-      ++s->steps_done;
+      run->last_snapshot = run->session->Step();
+      ++run->steps_done;
       ++steps_this_turn;
-      if (s->observer) s->observer(s->id, s->last_snapshot);
-      s->session->ApplyAction(UserAction::Continue());
-      if (s->steps_done >= s->max_iterations) {
+      for (const auto& [qid, observer] : observers) {
+        observer(qid, run->last_snapshot);
+      }
+      run->session->ApplyAction(UserAction::Continue());
+      if (run->steps_done >= run->max_iterations) {
         finished = true;
-        end_state = QueryState::kDone;
-      } else if (s->cancel_requested.load(std::memory_order_relaxed)) {
+      } else if (leader->cancel_requested.load(std::memory_order_relaxed)) {
         finished = true;
         end_state = QueryState::kCancelled;
       }
     }
 
+    // The publication copy (an O(|plans|) deep copy) happens while this
+    // shard still owns last_snapshot exclusively — never under mu_.
+    std::shared_ptr<const FrontierSnapshot> published;
+    if (steps_this_turn > 0) {
+      published = std::make_shared<const FrontierSnapshot>(run->last_snapshot);
+    }
+    std::vector<LateDelivery> deliveries;
     lock.lock();
     stats_.steps_executed += static_cast<uint64_t>(steps_this_turn);
+    if (steps_this_turn > 0) {
+      for (const auto& [qid, observer] : observers) {
+        auto it = entries_.find(qid);
+        if (it != entries_.end()) {
+          it->second->snapshots_seen += steps_this_turn;
+        }
+      }
+      // Publish before any turn-end finalization so expired followers,
+      // retired leaders, and completion all see this turn's frontier.
+      run->steps_published = run->steps_done;
+      run->last_published = std::move(published);
+    } else if (pending.has_value() && !run->pending_bounds.has_value()) {
+      // A zero-step turn (deadline hit before the first step) must not
+      // swallow applied-but-unstepped bounds: restore them so the
+      // completion guards below keep granting turns until a step runs
+      // under them. (Re-applying SetBounds next turn is idempotent — no
+      // step advanced the session since. A newer ApplyBounds that
+      // arrived mid-turn supersedes them instead.)
+      run->pending_bounds = std::move(pending);
+    }
+    // Followers are deadline-checked at both boundaries of every turn
+    // (leaders between every step): a follower whose deadline passed
+    // mid-turn must expire here, not ride a completing run to kDone.
+    SweepExpiredFollowersLocked(run, Clock::now());
     // Linearize Cancel against completion: Cancel sets the flag under
-    // mu_ while the session is still in sessions_, so re-checking here
-    // guarantees that a true-returning Cancel is observed as kCancelled
-    // even when the last step finished concurrently.
-    if (s->cancel_requested.load(std::memory_order_relaxed)) {
+    // mu_ while the entry is still live, so re-checking here guarantees
+    // that a true-returning Cancel is observed as kCancelled even when
+    // the last step finished concurrently. (Leadership cannot have
+    // changed mid-turn: only the stepping shard reassigns it.)
+    if (leader->cancel_requested.load(std::memory_order_relaxed)) {
       finished = true;
       end_state = QueryState::kCancelled;
     }
-    if (finished) {
-      FinalizeLocked(s, end_state);
-    } else {
-      run_queue_.push_back(id);  // Round-robin: back of the line.
+    // A bounds change accepted during (or right after) the final step
+    // must not be silently dropped: instead of completing, the run gets
+    // another turn, which applies the bounds and steps at least once
+    // under them — ApplyBounds' "takes effect at the next turn
+    // boundary" promise holds even against completion.
+    if (finished && end_state == QueryState::kDone &&
+        run->pending_bounds.has_value()) {
+      finished = false;
+    }
+    if (!finished) {
+      shard_queues_[run->home_shard].push_back(rid);  // Back of the line.
+      // Wake a stealer only when there is work beyond this run: with a
+      // lone run, this shard re-pops it itself before releasing mu_,
+      // so a notified idle shard would always find the queues empty.
+      if (shard_queues_[run->home_shard].size() > 1) work_cv_.notify_one();
+      continue;
+    }
+    if (end_state == QueryState::kDone) {
+      CompleteRunLocked(run, &deliveries);
+    } else if (RetireLeaderLocked(run, end_state)) {
+      // Leader-only event and followers remain: the run survives under
+      // the promoted leader.
+      if (run->steps_done >= run->max_iterations &&
+          !run->pending_bounds.has_value()) {
+        // The retired leader raced completion: the remaining riders
+        // still get the finished frontier (unless a bounds change is
+        // pending, which earns the run one more turn — see above).
+        CompleteRunLocked(run, &deliveries);
+      } else {
+        shard_queues_[run->home_shard].push_back(rid);
+        if (shard_queues_[run->home_shard].size() > 1) work_cv_.notify_one();
+      }
+    }
+    if (!deliveries.empty()) {
+      lock.unlock();
+      for (const LateDelivery& d : deliveries) d.observer(d.id, *d.frontier);
+      lock.lock();
     }
   }
 }

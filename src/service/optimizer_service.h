@@ -1,36 +1,60 @@
-// OptimizerService: concurrent multi-query anytime optimization.
-//
-// The paper's anytime property makes IAMA a natural fit for a serving
-// layer: every Optimize invocation is cheap and interruptible, so many
-// queries can share one machine and each still converges to an
-// α-approximate Pareto frontier. The service admits queries (Submit),
-// runs a fair scheduler that interleaves single IamaSession steps across
-// all admitted sessions, and streams every FrontierSnapshot to a
-// per-query observer — each query's frontier improves incrementally
-// while total worker usage stays bounded.
-//
-// Concurrency model. One scheduler thread executes all optimizer steps,
-// strictly serialized; intra-step parallelism comes from one shared
-// ThreadPool injected into every per-query IncrementalOptimizer via
-// OptimizerOptions::pool (the pool's ParallelFor is not reentrant, so
-// serialized stepping is required, not just convenient). Because each
-// session's own sequence of Step() calls is independent of how sessions
-// are interleaved, service frontiers are bit-identical to running every
-// query alone (service_test asserts this, including under TSan).
-//
-// Scheduling. Round-robin over admitted sessions; a session's `priority`
-// is the number of consecutive steps it gets per turn, and an optional
-// per-query deadline (wall clock from admission) expires sessions that
-// cannot finish in time — they keep their last (coarser) frontier, which
-// is exactly the anytime contract.
-//
-// Caching. A small LRU cache maps a canonicalized query (join graph +
-// metric set + the options that affect the result) to its final
-// frontier; repeated submissions skip re-optimization entirely and
-// return the cached frontier, which equals the fresh run bit for bit
-// because optimization is deterministic. The cache fills when a session
-// completes: duplicates submitted while the first copy is still in
-// flight are not coalesced — each runs on its own.
+/// \file
+/// OptimizerService: sharded concurrent multi-query anytime optimization.
+///
+/// The paper's anytime property makes IAMA a natural fit for a serving
+/// layer: every Optimize invocation is cheap and interruptible, so many
+/// queries can share one machine and each still converges to an
+/// α-approximate Pareto frontier. The service admits queries (Submit),
+/// schedules them across N scheduler shards that interleave single
+/// IamaSession steps, and streams every FrontierSnapshot to a per-query
+/// observer — each query's frontier improves incrementally while total
+/// worker usage stays bounded.
+///
+/// **Concurrency model.** `ServiceOptions::num_shards` scheduler threads
+/// each own a weighted round-robin run queue and a private partition of
+/// the worker budget (`ServiceOptions::num_threads`, split via
+/// PartitionThreads). A run is placed on a shard by hashing its canonical
+/// query key; an idle shard steals queued runs from the busiest other
+/// shard and adopts them (a stolen run re-enqueues on its new shard
+/// until stolen again), so one shard's long-running sessions cannot
+/// head-of-line-block small queries admitted elsewhere. Exactly one shard thread steps a
+/// given run at a time (a run is never in two queues, and a stepping
+/// shard holds the run outside every queue), and the stepping thread
+/// rebinds the session to its own pool partition first
+/// (IamaSession::RebindPool) — so each pool's non-reentrant ParallelFor
+/// always has exactly one caller. Because each session's sequence of
+/// Step() calls is independent of how runs are interleaved, placed, or
+/// stolen, and thread counts never affect frontiers, service results are
+/// bit-identical to running every query alone for every shard count
+/// (service_test asserts this for shards {1, 2, 4}, including under
+/// TSan).
+///
+/// **Scheduling.** Weighted round-robin per shard; a run's `priority`
+/// (the maximum across the queries attached to it) is the number of
+/// consecutive steps it gets per turn, and an optional per-query
+/// deadline (wall clock from
+/// admission) expires queries that cannot finish in time — they keep
+/// their last (coarser) frontier, which is exactly the anytime contract.
+/// Deadlines are checked between every step for a run's leader and at
+/// both boundaries of every turn for coalesced followers.
+///
+/// **Caching and coalescing.** A small LRU cache maps a canonicalized
+/// query (join graph + metric set + the options that affect the result)
+/// to its final frontier; repeated submissions skip re-optimization
+/// entirely and return the cached frontier, which equals the fresh run
+/// bit for bit because optimization is deterministic. The cache fills
+/// when a run completes. Duplicates submitted while the first copy is
+/// still *in flight* coalesce instead: the new submission attaches to
+/// the running leader as a follower, shares its snapshots and final
+/// frontier, and performs no optimization work of its own. A follower
+/// keeps its own deadline/cancel semantics and result entry, and its
+/// priority raises the shared run's turn weight (max across riders).
+/// If the leader is cancelled or expires with live followers, the oldest
+/// follower is promoted to leader and the run continues where it left
+/// off (no work is lost or redone). ApplyBounds() re-bounds a running
+/// query mid-flight; since the re-bounded result no longer corresponds
+/// to the canonical key, such a run is marked diverged — it stops
+/// accepting new followers and never fills the cache.
 #ifndef MOQO_SERVICE_OPTIMIZER_SERVICE_H_
 #define MOQO_SERVICE_OPTIMIZER_SERVICE_H_
 
@@ -42,9 +66,11 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "catalog/catalog.h"
 #include "core/iama.h"
@@ -55,129 +81,216 @@
 
 namespace moqo {
 
-// Service-wide ticket for one submitted query. 0 is never issued.
+/// Service-wide ticket for one submitted query. 0 is never issued.
 using QueryId = uint64_t;
+/// The never-issued id; marks unknown queries in results.
 inline constexpr QueryId kInvalidQueryId = 0;
 
+/// Service-wide configuration, fixed at construction.
 struct ServiceOptions {
-  // Size of the shared worker pool used by every session's phase-2
-  // enumeration. Must be >= 1; 1 keeps sessions on the serial path.
+  /// Total worker budget shared by all sessions' phase-2 enumeration,
+  /// split across the scheduler shards via PartitionThreads. Must be
+  /// >= 1. A shard whose partition is 1 steps its sessions serially on
+  /// the scheduler thread itself.
   int num_threads = 1;
-  // Capacity (entries) of the LRU frontier cache; 0 disables caching.
+  /// Number of scheduler shards (threads stepping sessions). Must be
+  /// >= 1. More shards let more sessions step truly concurrently;
+  /// num_shards > num_threads oversubscribes the worker budget (each
+  /// shard always keeps at least its own thread).
+  int num_shards = 1;
+  /// Attach duplicate in-flight submissions to the running leader
+  /// instead of optimizing them a second time. Disable to force every
+  /// submission onto its own run (e.g. for scheduling benchmarks).
+  bool coalesce_in_flight = true;
+  /// Capacity (entries) of the LRU frontier cache; 0 disables caching.
   size_t frontier_cache_capacity = 64;
-  // How many finished QueryResults are retained for Wait(); the oldest
-  // are dropped beyond this (a soft cap: results with a Wait() call in
-  // progress are never evicted). 0 = unlimited (unbounded memory on a
-  // long-running service — only for tests/tools). Wait() on a dropped id
-  // reports it as unknown.
+  /// How many finished QueryResults are retained for Wait(); the oldest
+  /// are dropped beyond this (a soft cap: results with a Wait() call in
+  /// progress are never evicted). 0 = unlimited (unbounded memory on a
+  /// long-running service — only for tests/tools). Wait() on a dropped
+  /// id reports it as unknown.
   size_t result_retention = 1024;
-  // Cost model configuration shared by all queries of this service.
-  // (These are service-wide constants, so they do not participate in the
-  // per-query cache key.)
+  /// Metric schema shared by all queries of this service. (A service-
+  /// wide constant, so it does not participate in the per-query cache
+  /// key.)
   MetricSchema schema = MetricSchema::Standard3();
+  /// Cost model parameters shared by all queries (service-wide).
   CostModelParams cost_params;
+  /// Operator library configuration shared by all queries (service-wide).
   OperatorOptions operator_options;
 };
 
+/// Per-submission options.
 struct SubmitOptions {
+  /// Session configuration: resolution schedule, initial bounds, and
+  /// result-affecting optimizer knobs. `iama.optimizer.pool` and
+  /// `iama.optimizer.num_threads` are owned by the service and must be
+  /// left at their defaults (Submit rejects anything else).
   IamaOptions iama;
-  // Total session steps to run; 0 means schedule.NumLevels() — one sweep
-  // from resolution 0 to rM. Must be >= 0.
+  /// Total session steps to run; 0 means schedule.NumLevels() — one
+  /// sweep from resolution 0 to rM. Must be >= 0.
   int max_iterations = 0;
-  // Steps granted per scheduler turn (weighted round-robin); >= 1.
+  /// Steps granted per scheduler turn (weighted round-robin); >= 1. A
+  /// coalesced run steps at the maximum priority among its riders.
   int priority = 1;
-  // Wall-clock budget in ms, measured from admission; 0 = no deadline.
-  // An expired session completes with whatever frontier it last
-  // produced — possibly none, if no step ran before the deadline.
+  /// Wall-clock budget in ms, measured from admission; 0 = no deadline.
+  /// An expired query completes with whatever frontier its run last
+  /// produced — possibly none, if no step ran before the deadline.
   double deadline_ms = 0.0;
 };
 
-// Terminal states as reported by Wait(); kQueued is only ever seen as
-// the default of a QueryResult for an unknown id — in-flight sessions
-// are not observable through results.
+/// Terminal states as reported by Wait(); kQueued is only ever seen as
+/// the default of a QueryResult for an unknown id — in-flight queries
+/// are not observable through results.
 enum class QueryState {
-  kQueued,     // Not finished (only on unknown-id results).
-  kDone,       // Ran all requested iterations (or served from cache).
-  kCancelled,  // Cancel() before completion.
-  kExpired,    // Deadline elapsed before all iterations ran.
+  kQueued,     ///< Not finished (only on unknown-id results).
+  kDone,       ///< Ran all requested iterations (or served from cache).
+  kCancelled,  ///< Cancel() before completion.
+  kExpired,    ///< Deadline elapsed before all iterations ran.
 };
 
+/// Terminal outcome of one submitted query, as returned by Wait().
 struct QueryResult {
-  QueryId id = kInvalidQueryId;  // kInvalidQueryId = unknown query id.
+  /// The query's ticket; kInvalidQueryId = unknown query id.
+  QueryId id = kInvalidQueryId;
+  /// Terminal state (kQueued only for unknown ids).
   QueryState state = QueryState::kQueued;
-  int iterations = 0;     // Session steps actually executed.
+  /// Optimizer steps executed by the run that served this query (for a
+  /// coalesced follower: the shared run's steps, not zero). May exceed
+  /// the requested max_iterations when ApplyBounds landed on the run's
+  /// final step: the run takes at least one extra step under the new
+  /// bounds rather than dropping them.
+  int iterations = 0;
+  /// True when the result was served by the completed-run LRU cache.
   bool from_cache = false;
-  // The last snapshot produced (the final frontier for kDone). Plan ids
-  // inside refer to the session's (freed) arena — treat them as opaque
-  // tags; the cost vectors and order/resolution fields are the payload.
+  /// True when this query attached to an in-flight duplicate (it was a
+  /// follower, or was promoted to leader after attaching as one) and so
+  /// triggered no optimization of its own.
+  bool coalesced = false;
+  /// The run's last *published* snapshot: the final frontier for kDone;
+  /// for queries finalized between a run's turns (cancelled or expired
+  /// followers, cancelled leaders of dead runs) the frontier from the
+  /// latest turn boundary — which may trail snapshots already streamed
+  /// to the observer mid-turn. Plan ids inside refer to the run's
+  /// (freed) arena — treat them as opaque tags; the cost vectors and
+  /// order/resolution fields are the payload.
   FrontierSnapshot frontier;
 };
 
+/// Monotonic service-lifetime counters (returned by stats()).
 struct ServiceStats {
-  uint64_t submitted = 0;
-  uint64_t completed = 0;
-  uint64_t cancelled = 0;
-  uint64_t expired = 0;
-  uint64_t cache_hits = 0;
-  uint64_t steps_executed = 0;
+  uint64_t submitted = 0;       ///< Admitted queries (valid Submits).
+  uint64_t completed = 0;       ///< Queries finished in state kDone.
+  uint64_t cancelled = 0;       ///< Queries finished in state kCancelled.
+  uint64_t expired = 0;         ///< Queries finished in state kExpired.
+  uint64_t cache_hits = 0;      ///< Submits served by the frontier cache.
+  uint64_t coalesced = 0;       ///< Submits attached to an in-flight run.
+  uint64_t steps_executed = 0;  ///< Optimizer steps across all runs.
+  uint64_t work_steals = 0;     ///< Runs a shard stole from another queue.
 };
 
-// Cache key for a submission: canonicalized join graph (aliases and the
-// query name dropped, join endpoints orientation-normalized — but join
-// *sequence* preserved, since predicate indices feed the interesting-
-// order tags and renumbering them could change the frontier), metric
-// set, and every submit-level option that affects the result. Thread
-// counts are deliberately excluded: the parallel engine is frontier-
-// equivalent, so runs at different thread counts share cache lines.
+/// Cache/placement key for a submission: canonicalized join graph
+/// (aliases and the query name dropped, join endpoints orientation-
+/// normalized — but join *sequence* preserved, since predicate indices
+/// feed the interesting-order tags and renumbering them could change the
+/// frontier), metric set, and every submit-level option that affects the
+/// result. Thread counts are deliberately excluded: the parallel engine
+/// is frontier-equivalent, so runs at different thread counts share
+/// cache lines. The same key drives shard placement and in-flight
+/// coalescing, so duplicates land on the same shard and attach to the
+/// same leader.
 std::string CanonicalQueryKey(const Query& query, const MetricSchema& schema,
                               const SubmitOptions& options);
 
+/// The sharded multi-query serving layer; see the file comment for the
+/// full design (shards, stealing, coalescing, caching).
 class OptimizerService {
  public:
-  // Observes one query's frontier stream. Invoked with the service mutex
-  // released, from the scheduler thread (or from inside Submit for cache
-  // hits) — observers may Submit or Cancel, but must not Wait.
+  /// Observes one query's frontier stream. Invoked with the service
+  /// mutex released, from the shard thread stepping the query's run (or
+  /// from inside Submit for cache hits). Calls for one query are
+  /// serialized; observers may Submit, Cancel, or ApplyBounds, but must
+  /// not Wait. A follower's observer sees every snapshot from its first
+  /// full scheduler turn onward, and is guaranteed the final frontier
+  /// (delivered once at completion if no step snapshot reached it); a
+  /// cancelled query's observer may still receive the remaining
+  /// snapshots of the scheduler turn already in progress (up to the
+  /// leader's priority many) after Cancel returns.
   using SnapshotObserver =
       std::function<void(QueryId, const FrontierSnapshot&)>;
 
-  // `catalog` must outlive the service and not be mutated while the
-  // service is alive.
+  /// Starts the shard threads. `catalog` must outlive the service and
+  /// not be mutated while the service is alive.
   OptimizerService(const Catalog& catalog, ServiceOptions options);
-  // Cancels all unfinished sessions, joins the scheduler, and blocks
-  // until every Wait() call already in progress has returned. (As with
-  // any object, *starting* a new call concurrently with destruction is
-  // still a caller error.)
+  /// Cancels all unfinished queries, joins the shard threads, and blocks
+  /// until every Wait() call already in progress has returned. (As with
+  /// any object, *starting* a new call concurrently with destruction is
+  /// still a caller error.)
   ~OptimizerService();
 
+  /// Not copyable: the service owns threads, queues, and live runs.
   OptimizerService(const OptimizerService&) = delete;
+  /// Not copy-assignable (same ownership reasons).
   OptimizerService& operator=(const OptimizerService&) = delete;
 
-  // Admits a query. Validates the query against the catalog and the
-  // submit options (user input ⇒ Status, not CHECK). On success the
-  // returned id is immediately schedulable; snapshots stream to
-  // `observer` as the session is stepped.
+  /// Admits a query. Validates the query against the catalog and the
+  /// submit options (user input ⇒ Status, not CHECK). On success the
+  /// returned id is immediately schedulable; snapshots stream to
+  /// `observer`. A submission whose canonical key matches a completed
+  /// run returns its cached frontier without optimizing; one matching a
+  /// run still in flight attaches to it as a follower (see the file
+  /// comment) — both outcomes are reported via QueryResult::from_cache
+  /// / QueryResult::coalesced.
   StatusOr<QueryId> Submit(const Query& query, SubmitOptions options = {},
                            SnapshotObserver observer = nullptr);
 
-  // Requests cancellation; returns false if the query is unknown or
-  // already finished. After a true return, Wait() observes kCancelled —
-  // even if the session's last step completed concurrently (the
-  // cancellation flag is re-checked before the result is finalized).
+  /// Requests cancellation; returns false if the query is unknown or
+  /// already finished. After a true return, Wait() observes kCancelled —
+  /// even if the run's last step completed concurrently (the
+  /// cancellation flag is re-checked before the result is finalized).
+  /// Cancelling a follower detaches only that follower; cancelling a
+  /// leader with live followers hands leadership to the oldest follower
+  /// and the run continues for them.
   bool Cancel(QueryId id);
 
-  // Blocks until the query finishes (done, cancelled, or expired) and
-  // returns its result; repeat calls return the same result. Unknown ids
-  // yield a result with id == kInvalidQueryId.
+  /// Re-bounds an in-flight query — the service form of the paper's
+  /// interactive bounds drag. The new bounds take effect at the run's
+  /// next scheduler-turn boundary (a run mid-turn finishes its up-to-
+  /// `priority` steps under the old bounds first): the resolution
+  /// resets to 0 and all previously
+  /// generated plans are reused (IamaSession::SetBounds). The boundary
+  /// is guaranteed to exist — accepted bounds are never dropped: if the
+  /// run's final step was already in flight, the run takes one more
+  /// turn and steps at least once under the new bounds before
+  /// completing (QueryResult::iterations then exceeds max_iterations by
+  /// those extra steps). Bounds apply
+  /// to the whole run — a coalesced run is one shared interactive
+  /// session, so leader and followers all observe the re-bounded
+  /// stream — and mark it diverged: it stops accepting new followers
+  /// and its final frontier never enters the cache. Returns NotFound
+  /// for unknown/finished ids (including cache-hit submissions, which
+  /// finish instantly) and InvalidArgument when `bounds` does not match
+  /// the service metric schema.
+  Status ApplyBounds(QueryId id, const CostVector& bounds);
+
+  /// Blocks until the query finishes (done, cancelled, or expired) and
+  /// returns its result; repeat calls return the same result. Unknown
+  /// ids yield a result with id == kInvalidQueryId.
   QueryResult Wait(QueryId id);
 
+  /// Snapshot of the monotonic service counters.
   ServiceStats stats() const;
+  /// Total worker budget (ServiceOptions::num_threads).
   int threads() const { return options_.num_threads; }
-  // Threads currently blocked inside Wait() (diagnostics; also lets
-  // tests establish that a waiter is registered before racing it).
+  /// Number of scheduler shards (ServiceOptions::num_shards).
+  int shards() const { return options_.num_shards; }
+  /// Threads currently blocked inside Wait() (diagnostics; also lets
+  /// tests establish that a waiter is registered before racing it).
   int active_waiters() const;
 
  private:
-  struct SessionState;
+  struct QueryEntry;
+  struct RunState;
 
   // Finished results and cache entries share one immutable snapshot, so
   // finalization never deep-copies plan vectors while holding mu_.
@@ -191,25 +304,61 @@ class OptimizerService {
     QueryState state = QueryState::kQueued;
     int iterations = 0;
     bool from_cache = false;
+    bool coalesced = false;
     std::shared_ptr<const FrontierSnapshot> frontier;
   };
 
-  void SchedulerLoop();
-  // Builds the session's factory + IamaSession (first scheduling turn).
-  void BuildSession(SessionState* s);
+  // A follower observer owed the final frontier at completion.
+  struct LateDelivery {
+    QueryId id = kInvalidQueryId;
+    SnapshotObserver observer;
+    std::shared_ptr<const FrontierSnapshot> frontier;
+  };
+
+  void SchedulerLoop(size_t shard);
+  // True when any shard queue holds a run. Requires mu_ held.
+  bool AnyQueuedLocked() const;
+  // Pops the next run for `shard`: its own queue's front, else a steal
+  // from the back of the largest other queue. Requires mu_ held and
+  // AnyQueuedLocked().
+  uint64_t PopRunLocked(size_t shard);
+  // Builds the run's factory + IamaSession (first stepping turn).
+  void BuildRun(RunState* run);
   // Stores a terminal result, evicting the oldest beyond
   // result_retention, and wakes waiters. Requires mu_ held.
   void RecordResultLocked(StoredResult result);
-  // Records the terminal result, frees the session, and fills the cache
-  // (kDone only). Requires mu_ held.
-  void FinalizeLocked(SessionState* s, QueryState state);
+  // Records `entry`'s terminal result (bumping the matching stats
+  // counter) and erases the entry. Requires mu_ held.
+  void FinalizeEntryLocked(QueryEntry* entry, QueryState state,
+                           std::shared_ptr<const FrontierSnapshot> frontier,
+                           int iterations);
+  // Finalizes every follower whose own deadline has passed. Requires
+  // mu_ held.
+  void SweepExpiredFollowersLocked(RunState* run,
+                                   std::chrono::steady_clock::time_point now);
+  // Completes a run in state kDone: finalizes every attached query,
+  // fills the cache (unless diverged), collects final-frontier
+  // deliveries for observers that saw no snapshot, and destroys the
+  // run. Requires mu_ held.
+  void CompleteRunLocked(RunState* run,
+                         std::vector<LateDelivery>* deliveries);
+  // Finalizes the current leader in `state` and promotes the oldest
+  // follower to leader; returns false when no follower remains (the
+  // run is destroyed). Requires mu_ held.
+  bool RetireLeaderLocked(RunState* run, QueryState state);
+  // Removes the run from the in-flight index (if it is still the
+  // index's entry for its key) and frees it. Requires mu_ held.
+  void DestroyRunLocked(RunState* run);
 
   const Catalog& catalog_;
   const ServiceOptions options_;
-  std::unique_ptr<ThreadPool> pool_;  // Shared pool; null if 1 thread.
+  // Per-shard worker pools (null where the partition size is 1). A
+  // stepping shard rebinds the run's session to its own pool, so each
+  // pool has exactly one ParallelFor caller at any time.
+  std::vector<std::unique_ptr<ThreadPool>> pools_;
 
   mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // Scheduler sleeps when queue empty.
+  std::condition_variable work_cv_;  // Shards sleep when no queue has work.
   std::condition_variable done_cv_;  // Wait() blocks here.
   std::condition_variable waiters_cv_;  // Destructor drains Wait() calls.
   bool stop_ = false;
@@ -217,8 +366,13 @@ class OptimizerService {
   // Per-id Wait() calls in progress; such results are not evicted.
   std::unordered_map<QueryId, int> wait_counts_;
   QueryId next_id_ = 1;
-  std::unordered_map<QueryId, std::unique_ptr<SessionState>> sessions_;
-  std::deque<QueryId> run_queue_;  // Round-robin order.
+  uint64_t next_run_id_ = 1;
+  std::unordered_map<QueryId, std::unique_ptr<QueryEntry>> entries_;
+  std::unordered_map<uint64_t, std::unique_ptr<RunState>> runs_;
+  // Canonical key -> run id of the non-diverged in-flight run new
+  // duplicates attach to. Maintained only when coalescing is enabled.
+  std::unordered_map<std::string, uint64_t> inflight_;
+  std::vector<std::deque<uint64_t>> shard_queues_;  // Round-robin per shard.
   std::unordered_map<QueryId, StoredResult> results_;
   std::deque<QueryId> results_order_;  // Finish order, for retention.
   ServiceStats stats_;
@@ -229,7 +383,7 @@ class OptimizerService {
   std::unordered_map<std::string, decltype(cache_lru_)::iterator>
       cache_index_;
 
-  std::thread scheduler_;  // Last member: starts after state is ready.
+  std::vector<std::thread> schedulers_;  // Last: start after state is ready.
 };
 
 }  // namespace moqo

@@ -1,8 +1,22 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
+
 #include "util/common.h"
 
 namespace moqo {
+
+std::vector<int> PartitionThreads(int total_threads, int parts) {
+  MOQO_CHECK(total_threads >= 1);
+  MOQO_CHECK(parts >= 1);
+  std::vector<int> sizes(static_cast<size_t>(parts));
+  const int base = total_threads / parts;
+  const int remainder = total_threads % parts;
+  for (int i = 0; i < parts; ++i) {
+    sizes[static_cast<size_t>(i)] = std::max(1, base + (i < remainder ? 1 : 0));
+  }
+  return sizes;
+}
 
 ThreadPool::ThreadPool(int threads) {
   MOQO_CHECK(threads >= 1);

@@ -23,6 +23,18 @@
 
 namespace moqo {
 
+// Splits a total worker budget across `parts` independent schedulers,
+// returning one pool size per part (sizes in the ThreadPool sense: the
+// scheduler thread calling ParallelFor counts as one worker of its own
+// partition). Sizes differ by at most one and every part gets at least 1
+// — when total_threads < parts the budget is oversubscribed rather than
+// leaving a scheduler without a serial fallback, since a size-1 partition
+// spawns no threads at all. Used by the sharded OptimizerService: shard i
+// owns a private pool of PartitionThreads(total, shards)[i] workers, so
+// concurrent shards never contend on one pool's non-reentrant
+// ParallelFor.
+std::vector<int> PartitionThreads(int total_threads, int parts);
+
 class ThreadPool {
  public:
   // A pool of `threads` total workers: `threads - 1` spawned threads plus

@@ -1,12 +1,19 @@
-// OptimizerService tests: concurrent sessions on one shared pool must
-// produce frontiers bit-identical to per-query sequential runs; the LRU
-// frontier cache must serve repeated queries without re-optimization;
-// cancellation, deadlines, admission validation, and teardown must all
-// behave under concurrent submitters (this test also runs under TSan).
+// OptimizerService tests: concurrent sessions across scheduler shards
+// must produce frontiers bit-identical to per-query sequential runs for
+// every shard count; the LRU frontier cache must serve repeated queries
+// without re-optimization; duplicate in-flight submissions must coalesce
+// onto the running leader (no second optimization — asserted on step
+// counters) with correct follower cancel/expiry/handoff semantics;
+// ApplyBounds must re-bound live runs and keep diverged results out of
+// the cache; cancellation, deadlines, admission validation, and teardown
+// must all behave under concurrent submitters (this test also runs under
+// TSan).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -80,13 +87,20 @@ Workload MakeWorkload(int num_random, int random_tables = 4) {
   return w;
 }
 
-TEST(OptimizerServiceTest, ConcurrentSessionsMatchSequentialRuns) {
+// Admits a mixed workload from several client threads at once onto a
+// service with `shards` scheduler threads and asserts every frontier is
+// bit-identical to running the query alone, single-threaded — the
+// acceptance bar for the sharded scheduler (placement, stealing, and
+// pool partitioning must not affect any session's step sequence).
+void ExpectShardedServiceMatchesSequential(int shards) {
   const Workload w = MakeWorkload(/*num_random=*/4);
-  const ServiceOptions service_opts = SmallServiceOptions(/*threads=*/4);
+  ServiceOptions service_opts = SmallServiceOptions(/*threads=*/4);
+  service_opts.num_shards = shards;
   const SubmitOptions submit = SmallSubmitOptions();
   const int iterations = submit.iama.schedule.NumLevels();
 
   OptimizerService service(w.catalog, service_opts);
+  ASSERT_EQ(service.shards(), shards);
   // Admit everything from several client threads at once; every session's
   // steps interleave on the shared pool.
   std::vector<QueryId> ids(w.queries.size(), kInvalidQueryId);
@@ -132,6 +146,18 @@ TEST(OptimizerServiceTest, ConcurrentSessionsMatchSequentialRuns) {
   EXPECT_EQ(stats.completed, w.queries.size());
   EXPECT_EQ(stats.steps_executed,
             w.queries.size() * static_cast<uint64_t>(iterations));
+}
+
+TEST(OptimizerServiceTest, ConcurrentSessionsMatchSequentialOneShard) {
+  ExpectShardedServiceMatchesSequential(1);
+}
+
+TEST(OptimizerServiceTest, ConcurrentSessionsMatchSequentialTwoShards) {
+  ExpectShardedServiceMatchesSequential(2);
+}
+
+TEST(OptimizerServiceTest, ConcurrentSessionsMatchSequentialFourShards) {
+  ExpectShardedServiceMatchesSequential(4);
 }
 
 TEST(OptimizerServiceTest, CacheServesRepeatedQueryBitIdentically) {
@@ -365,6 +391,443 @@ TEST(OptimizerServiceTest, StressManyConcurrentClients) {
   EXPECT_EQ(stats.completed, stats.submitted);
   EXPECT_GE(stats.cache_hits,
             static_cast<uint64_t>(kClients * (kPerClient - 3)));
+}
+
+// Parks the (single) shard thread inside a blocker query's observer so a
+// test can deterministically submit, cancel, or re-bound queries while
+// they are guaranteed to be in flight: the blocker's first snapshot
+// blocks until Release(), during which every later submission sits
+// queued behind it. Only the first snapshot blocks — after Release() the
+// blocker steps normally (tests cancel it to finish).
+class SchedulerGate {
+ public:
+  OptimizerService::SnapshotObserver Observer() {
+    return [this](QueryId, const FrontierSnapshot&) {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (blocked_once_) return;
+      blocked_once_ = true;
+      entered_ = true;
+      cv_.notify_all();
+      cv_.wait(lock, [this] { return released_; });
+    };
+  }
+  // Blocks until the shard thread is parked inside the observer.
+  void AwaitEntered() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return entered_; });
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool blocked_once_ = false;
+  bool entered_ = false;
+  bool released_ = false;
+};
+
+// Holds a gated service with one shard plus the ids/options shared by the
+// coalescing tests: a parked blocker, a leader, and (on demand) coalesced
+// duplicates of the leader's query.
+struct CoalescingRig {
+  explicit CoalescingRig(const Workload& w)
+      : submit(SmallSubmitOptions()),
+        iterations(submit.iama.schedule.NumLevels()),
+        service(w.catalog, SmallServiceOptions(/*threads=*/1)) {
+    SubmitOptions blocker_submit = SmallSubmitOptions();
+    blocker_submit.max_iterations = 1000000;  // Runs until cancelled.
+    blocker = service.Submit(w.queries.back(), blocker_submit,
+                             gate.Observer())
+                  .value();
+    gate.AwaitEntered();
+  }
+
+  // Finishes the blocker and returns its executed step count, for exact
+  // service-wide step accounting.
+  int ReleaseAndFinishBlocker() {
+    EXPECT_TRUE(service.Cancel(blocker));
+    gate.Release();
+    return service.Wait(blocker).iterations;
+  }
+
+  SchedulerGate gate;
+  const SubmitOptions submit;
+  const int iterations;
+  OptimizerService service;
+  QueryId blocker = kInvalidQueryId;
+};
+
+TEST(OptimizerServiceCoalescingTest, DuplicateInFlightSubmitCoalesces) {
+  const Workload w = MakeWorkload(/*num_random=*/1, /*random_tables=*/4);
+  ASSERT_GE(w.queries.size(), 2u);
+  CoalescingRig rig(w);
+  const Query& q = w.queries.front();
+
+  std::atomic<int> leader_snaps{0};
+  std::atomic<int> dup_snaps{0};
+  const QueryId leader =
+      rig.service
+          .Submit(q, rig.submit,
+                  [&](QueryId, const FrontierSnapshot&) { ++leader_snaps; })
+          .value();
+  const QueryId dup =
+      rig.service
+          .Submit(q, rig.submit,
+                  [&](QueryId, const FrontierSnapshot&) { ++dup_snaps; })
+          .value();
+  // The duplicate attached to the in-flight leader instead of queueing a
+  // second run.
+  EXPECT_EQ(rig.service.stats().coalesced, 1u);
+
+  const int blocker_steps = rig.ReleaseAndFinishBlocker();
+  const QueryResult rl = rig.service.Wait(leader);
+  const QueryResult rd = rig.service.Wait(dup);
+
+  EXPECT_EQ(rl.state, QueryState::kDone);
+  EXPECT_FALSE(rl.coalesced);
+  EXPECT_EQ(rl.iterations, rig.iterations);
+  EXPECT_EQ(rd.state, QueryState::kDone);
+  EXPECT_TRUE(rd.coalesced);
+  EXPECT_FALSE(rd.from_cache);
+  EXPECT_EQ(rd.iterations, rig.iterations);
+  // The shared result is the real (sequential-identical) frontier.
+  const ServiceOptions ref_opts = SmallServiceOptions(1);
+  const FrontierSnapshot reference = SequentialFinalSnapshot(
+      q, w.catalog, ref_opts, rig.submit.iama, rig.iterations);
+  ASSERT_EQ(FrontierSignature(rd.frontier.plans),
+            FrontierSignature(reference.plans));
+  ASSERT_EQ(FrontierSignature(rl.frontier.plans),
+            FrontierSignature(reference.plans));
+  // Step-count instrumented: the duplicate performed no optimization —
+  // total service steps are exactly blocker + one leader run.
+  EXPECT_EQ(rig.service.stats().steps_executed,
+            static_cast<uint64_t>(blocker_steps + rig.iterations));
+  // The leader streamed every snapshot; the follower is guaranteed at
+  // least the final frontier.
+  EXPECT_EQ(leader_snaps.load(), rig.iterations);
+  EXPECT_GE(dup_snaps.load(), 1);
+}
+
+TEST(OptimizerServiceCoalescingTest, FollowerCancelLeavesLeaderUnaffected) {
+  const Workload w = MakeWorkload(/*num_random=*/1, /*random_tables=*/4);
+  CoalescingRig rig(w);
+  const Query& q = w.queries.front();
+
+  const QueryId leader = rig.service.Submit(q, rig.submit).value();
+  const QueryId dup = rig.service.Submit(q, rig.submit).value();
+  EXPECT_EQ(rig.service.stats().coalesced, 1u);
+  // Cancelling the follower detaches it immediately — no turn needed.
+  EXPECT_TRUE(rig.service.Cancel(dup));
+  const QueryResult rd = rig.service.Wait(dup);
+  EXPECT_EQ(rd.state, QueryState::kCancelled);
+  EXPECT_TRUE(rd.coalesced);
+
+  const int blocker_steps = rig.ReleaseAndFinishBlocker();
+  const QueryResult rl = rig.service.Wait(leader);
+  EXPECT_EQ(rl.state, QueryState::kDone);
+  EXPECT_EQ(rl.iterations, rig.iterations);
+  const FrontierSnapshot reference =
+      SequentialFinalSnapshot(q, w.catalog, SmallServiceOptions(1),
+                              rig.submit.iama, rig.iterations);
+  ASSERT_EQ(FrontierSignature(rl.frontier.plans),
+            FrontierSignature(reference.plans));
+  EXPECT_EQ(rig.service.stats().steps_executed,
+            static_cast<uint64_t>(blocker_steps + rig.iterations));
+  EXPECT_EQ(rig.service.stats().cancelled, 2u);  // Follower + blocker.
+}
+
+TEST(OptimizerServiceCoalescingTest, LeaderCancelHandsOffToFollower) {
+  const Workload w = MakeWorkload(/*num_random=*/1, /*random_tables=*/4);
+  CoalescingRig rig(w);
+  const Query& q = w.queries.front();
+
+  const QueryId leader = rig.service.Submit(q, rig.submit).value();
+  const QueryId dup = rig.service.Submit(q, rig.submit).value();
+  EXPECT_EQ(rig.service.stats().coalesced, 1u);
+  // Cancelling the leader while a follower rides along hands leadership
+  // off instead of killing the run.
+  EXPECT_TRUE(rig.service.Cancel(leader));
+
+  const int blocker_steps = rig.ReleaseAndFinishBlocker();
+  const QueryResult rl = rig.service.Wait(leader);
+  EXPECT_EQ(rl.state, QueryState::kCancelled);
+  EXPECT_FALSE(rl.coalesced);
+
+  const QueryResult rd = rig.service.Wait(dup);
+  EXPECT_EQ(rd.state, QueryState::kDone);
+  EXPECT_TRUE(rd.coalesced);
+  EXPECT_EQ(rd.iterations, rig.iterations);
+  const FrontierSnapshot reference =
+      SequentialFinalSnapshot(q, w.catalog, SmallServiceOptions(1),
+                              rig.submit.iama, rig.iterations);
+  ASSERT_EQ(FrontierSignature(rd.frontier.plans),
+            FrontierSignature(reference.plans));
+  // The run continued where it left off: one optimization total, no
+  // re-enqueue from scratch.
+  EXPECT_EQ(rig.service.stats().steps_executed,
+            static_cast<uint64_t>(blocker_steps + rig.iterations));
+}
+
+TEST(OptimizerServiceCoalescingTest, DuplicateSubmitsRacingCompletion) {
+  // Hammer one canonical query from several client threads: every
+  // submission must resolve to exactly one of {fresh run, coalesced
+  // follower, cache hit}, and total optimizer work must equal fresh
+  // runs × iterations — whatever the interleaving (also a TSan target).
+  const Workload w = MakeWorkload(/*num_random=*/0);
+  ServiceOptions opts = SmallServiceOptions(/*threads=*/2);
+  opts.num_shards = 2;
+  OptimizerService service(w.catalog, opts);
+  const SubmitOptions submit = SmallSubmitOptions(3);
+  const int iterations = submit.iama.schedule.NumLevels();
+  const Query& q = w.queries.front();
+
+  const int kClients = 4;
+  const int kPerClient = 8;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < kPerClient; ++i) {
+        StatusOr<QueryId> id = service.Submit(q, submit);
+        ASSERT_TRUE(id.ok());
+        const QueryResult r = service.Wait(id.value());
+        EXPECT_EQ(r.state, QueryState::kDone);
+        EXPECT_EQ(r.iterations, iterations);
+        EXPECT_FALSE(r.frontier.plans.empty());
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  const ServiceStats stats = service.stats();
+  const uint64_t total = static_cast<uint64_t>(kClients * kPerClient);
+  EXPECT_EQ(stats.submitted, total);
+  EXPECT_EQ(stats.completed, total);
+  ASSERT_GE(total, stats.cache_hits + stats.coalesced);
+  const uint64_t fresh = total - stats.cache_hits - stats.coalesced;
+  EXPECT_GE(fresh, 1u);
+  EXPECT_EQ(stats.steps_executed, fresh * static_cast<uint64_t>(iterations));
+}
+
+TEST(OptimizerServiceCoalescingTest, ExpiredFollowerKeepsRunAlive) {
+  const Workload w = MakeWorkload(/*num_random=*/1, /*random_tables=*/4);
+  CoalescingRig rig(w);
+  const Query& q = w.queries.front();
+
+  const QueryId leader = rig.service.Submit(q, rig.submit).value();
+  SubmitOptions hurried = rig.submit;
+  hurried.deadline_ms = 1e-6;  // Expires before the run's first turn.
+  const QueryId dup = rig.service.Submit(q, hurried).value();
+  EXPECT_EQ(rig.service.stats().coalesced, 1u);
+
+  const int blocker_steps = rig.ReleaseAndFinishBlocker();
+  const QueryResult rd = rig.service.Wait(dup);
+  EXPECT_EQ(rd.state, QueryState::kExpired);
+  EXPECT_TRUE(rd.coalesced);
+  const QueryResult rl = rig.service.Wait(leader);
+  EXPECT_EQ(rl.state, QueryState::kDone);
+  EXPECT_EQ(rl.iterations, rig.iterations);
+  EXPECT_EQ(rig.service.stats().steps_executed,
+            static_cast<uint64_t>(blocker_steps + rig.iterations));
+  EXPECT_EQ(rig.service.stats().expired, 1u);
+}
+
+TEST(OptimizerServiceCoalescingTest, MidTurnExpiredFollowerDoesNotRideToDone) {
+  // A follower that attaches mid-turn with an already-hopeless deadline
+  // must expire at the turn boundary — even when that same turn
+  // completes the run — not be finalized kDone alongside the leader.
+  const Workload w = MakeWorkload(/*num_random=*/0);
+  OptimizerService service(w.catalog, SmallServiceOptions(1));
+  SubmitOptions submit = SmallSubmitOptions();
+  const int iterations = submit.iama.schedule.NumLevels();
+  submit.priority = iterations;  // The whole run is one scheduler turn.
+  const Query& q = w.queries.front();
+
+  SubmitOptions hurried = SmallSubmitOptions();
+  hurried.deadline_ms = 1e-6;  // Expired by the first boundary.
+  std::atomic<QueryId> follower{kInvalidQueryId};
+  StatusOr<QueryId> leader = service.Submit(
+      q, submit, [&](QueryId, const FrontierSnapshot& s) {
+        if (s.iteration == 1) {  // Mid-turn: the run is being stepped.
+          StatusOr<QueryId> dup = service.Submit(q, hurried);
+          ASSERT_TRUE(dup.ok());
+          follower.store(dup.value());
+        }
+      });
+  ASSERT_TRUE(leader.ok());
+
+  const QueryResult rl = service.Wait(leader.value());
+  EXPECT_EQ(rl.state, QueryState::kDone);
+  EXPECT_EQ(rl.iterations, iterations);
+  ASSERT_NE(follower.load(), kInvalidQueryId);
+  const QueryResult rd = service.Wait(follower.load());
+  EXPECT_EQ(rd.state, QueryState::kExpired);
+  EXPECT_TRUE(rd.coalesced);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.coalesced, 1u);
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.steps_executed, static_cast<uint64_t>(iterations));
+}
+
+TEST(OptimizerServiceApplyBoundsTest, RejectsUnknownIdsAndBadDimensions) {
+  const Workload w = MakeWorkload(/*num_random=*/0);
+  OptimizerService service(w.catalog, SmallServiceOptions(1));
+  // Unknown id.
+  EXPECT_EQ(service.ApplyBounds(424242, CostVector::Infinite(3)).code(),
+            StatusCode::kNotFound);
+  // Finished id (cache hits finish inside Submit).
+  const QueryId done =
+      service.Submit(w.queries.front(), SmallSubmitOptions()).value();
+  service.Wait(done);
+  EXPECT_EQ(service.ApplyBounds(done, CostVector::Infinite(3)).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(OptimizerServiceApplyBoundsTest, TightensInFlightRunAndSkipsCache) {
+  const Workload w = MakeWorkload(/*num_random=*/1, /*random_tables=*/4);
+  CoalescingRig rig(w);
+  const Query& q = w.queries.front();
+
+  const QueryId id = rig.service.Submit(q, rig.submit).value();
+  // Dimension mismatch is rejected while the query is live.
+  EXPECT_EQ(rig.service.ApplyBounds(id, CostVector::Infinite(2)).code(),
+            StatusCode::kInvalidArgument);
+  CostVector bounds = CostVector::Infinite(3);
+  bounds[1] = 4.0;
+  ASSERT_TRUE(rig.service.ApplyBounds(id, bounds).ok());
+
+  rig.ReleaseAndFinishBlocker();
+  const QueryResult r = rig.service.Wait(id);
+  EXPECT_EQ(r.state, QueryState::kDone);
+  for (const auto& e : r.frontier.plans) EXPECT_LE(e.cost[1], 4.0);
+
+  // The re-bounded (diverged) run must not have filled the cache: an
+  // identical submission re-optimizes and gets the canonical, unbounded
+  // frontier.
+  const QueryResult again =
+      rig.service.Wait(rig.service.Submit(q, rig.submit).value());
+  EXPECT_FALSE(again.from_cache);
+  EXPECT_FALSE(again.coalesced);
+  const FrontierSnapshot reference =
+      SequentialFinalSnapshot(q, w.catalog, SmallServiceOptions(1),
+                              rig.submit.iama, rig.iterations);
+  ASSERT_EQ(FrontierSignature(again.frontier.plans),
+            FrontierSignature(reference.plans));
+}
+
+TEST(OptimizerServiceApplyBoundsTest, BoundsOnFinalStepAreNotDropped) {
+  // ApplyBounds racing completion: issued from the observer of the
+  // run's final step (the entry is still live, so it returns OK), the
+  // bounds must not be silently dropped — the run earns one more turn
+  // and steps at least once under them before finishing.
+  const Workload w = MakeWorkload(/*num_random=*/0);
+  OptimizerService service(w.catalog, SmallServiceOptions(1));
+  const SubmitOptions submit = SmallSubmitOptions();
+  const int iterations = submit.iama.schedule.NumLevels();
+  const Query& q = w.queries.front();
+
+  CostVector bounds = CostVector::Infinite(3);
+  bounds[1] = 4.0;
+  std::atomic<int> snaps{0};
+  std::atomic<bool> fired{false};
+  Status applied = Status::OK();  // Ordered by Wait()'s mutex round trip.
+  StatusOr<QueryId> id = service.Submit(
+      q, submit, [&](QueryId qid, const FrontierSnapshot& s) {
+        ++snaps;
+        if (s.iteration == iterations && !fired.exchange(true)) {
+          applied = service.ApplyBounds(qid, bounds);
+        }
+      });
+  ASSERT_TRUE(id.ok());
+  const QueryResult r = service.Wait(id.value());
+  ASSERT_TRUE(fired.load());
+  EXPECT_TRUE(applied.ok()) << applied.ToString();
+  EXPECT_EQ(r.state, QueryState::kDone);
+  // Extra step(s) under the new bounds, streamed to the observer.
+  EXPECT_GT(r.iterations, iterations);
+  EXPECT_GE(snaps.load(), iterations + 1);
+  for (const auto& e : r.frontier.plans) EXPECT_LE(e.cost[1], 4.0);
+}
+
+TEST(OptimizerServiceApplyBoundsTest, FollowerBoundsApplyToSharedRun) {
+  const Workload w = MakeWorkload(/*num_random=*/1, /*random_tables=*/4);
+  CoalescingRig rig(w);
+  const Query& q = w.queries.front();
+
+  const QueryId leader = rig.service.Submit(q, rig.submit).value();
+  const QueryId dup = rig.service.Submit(q, rig.submit).value();
+  EXPECT_EQ(rig.service.stats().coalesced, 1u);
+  // A coalesced run is one shared interactive session: a follower's
+  // bounds drag re-bounds it for every rider and diverges it.
+  CostVector bounds = CostVector::Infinite(3);
+  bounds[1] = 4.0;
+  ASSERT_TRUE(rig.service.ApplyBounds(dup, bounds).ok());
+  // The diverged run stops accepting new followers: a third duplicate
+  // starts a fresh run of its own.
+  const QueryId fresh = rig.service.Submit(q, rig.submit).value();
+  EXPECT_EQ(rig.service.stats().coalesced, 1u);
+
+  rig.ReleaseAndFinishBlocker();
+  const QueryResult rl = rig.service.Wait(leader);
+  const QueryResult rd = rig.service.Wait(dup);
+  const QueryResult rf = rig.service.Wait(fresh);
+
+  EXPECT_EQ(rl.state, QueryState::kDone);
+  EXPECT_EQ(rd.state, QueryState::kDone);
+  EXPECT_TRUE(rd.coalesced);
+  // Leader and follower share the re-bounded frontier.
+  ASSERT_EQ(FrontierSignature(rl.frontier.plans),
+            FrontierSignature(rd.frontier.plans));
+  for (const auto& e : rl.frontier.plans) EXPECT_LE(e.cost[1], 4.0);
+  // The fresh run was unaffected by the divergence and produced the
+  // canonical frontier.
+  EXPECT_EQ(rf.state, QueryState::kDone);
+  EXPECT_FALSE(rf.coalesced);
+  const FrontierSnapshot reference =
+      SequentialFinalSnapshot(q, w.catalog, SmallServiceOptions(1),
+                              rig.submit.iama, rig.iterations);
+  ASSERT_EQ(FrontierSignature(rf.frontier.plans),
+            FrontierSignature(reference.plans));
+}
+
+TEST(OptimizerServiceShardingTest, IdleShardsStealQueuedRuns) {
+  // With coalescing disabled, duplicates of one canonical key all hash
+  // to the same home shard; the other three shards can only make
+  // progress by stealing — and every stolen run must still produce the
+  // canonical frontier (the stealing shard rebinds the session to its
+  // own pool partition).
+  const Workload w = MakeWorkload(/*num_random=*/0);
+  ServiceOptions opts = SmallServiceOptions(/*threads=*/4);
+  opts.num_shards = 4;
+  opts.coalesce_in_flight = false;
+  opts.frontier_cache_capacity = 0;  // Every submission optimizes.
+  OptimizerService service(w.catalog, opts);
+  const SubmitOptions submit = SmallSubmitOptions();
+  const int iterations = submit.iama.schedule.NumLevels();
+  const Query& q = w.queries.front();
+
+  const int kRuns = 16;
+  std::vector<QueryId> ids;
+  for (int i = 0; i < kRuns; ++i) {
+    ids.push_back(service.Submit(q, submit).value());
+  }
+  const FrontierSnapshot reference = SequentialFinalSnapshot(
+      q, w.catalog, SmallServiceOptions(1), submit.iama, iterations);
+  for (QueryId id : ids) {
+    const QueryResult r = service.Wait(id);
+    EXPECT_EQ(r.state, QueryState::kDone);
+    EXPECT_FALSE(r.coalesced);
+    ASSERT_EQ(FrontierSignature(r.frontier.plans),
+              FrontierSignature(reference.plans));
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.coalesced, 0u);
+  EXPECT_EQ(stats.steps_executed,
+            static_cast<uint64_t>(kRuns) * static_cast<uint64_t>(iterations));
+  EXPECT_GE(stats.work_steals, 1u);
 }
 
 TEST(CanonicalQueryKeyTest, IgnoresNamesAliasesAndJoinOrientation) {
