@@ -2,13 +2,19 @@
 // p99 time-to-first-frontier as functions of scheduler shard count and
 // the number of in-flight queries, at a fixed total worker budget.
 //
-// The workload is 10-table random-topology queries (per the roadmap:
-// small queries have steps too short to expose scheduler serialization —
-// at 10 tables each anytime step does real enumeration work, so flat qps
-// vs. shard count would indicate a scheduling bottleneck, not noise).
-// Each configuration replays the same query list in waves of `inflight`
-// concurrently admitted sessions. The frontier cache and in-flight
-// coalescing are disabled so every wave pays full optimization cost.
+// The workload is 10-table *overlapping-but-distinct* queries: every
+// query embeds the same 7-table chain core (same table order, same
+// predicate sequence) and adds 3 private tables at a rotating root.
+// Earlier benches repeated identical queries, which the whole-query
+// cache / coalescing would serve for free and which tell the fragment
+// store nothing; distinct roots keep every submission a real run (the
+// scheduler signal) while the shared core exercises cross-query
+// fragment sharing — each configuration runs once with the fragment
+// store disabled and once warm-capable, and the fragment hit rate is
+// reported next to the scheduler columns. The frontier cache and
+// in-flight coalescing stay disabled so every wave pays its own way.
+// At 10 tables each anytime step does real enumeration work, so flat
+// qps vs. shard count would indicate a scheduling bottleneck, not noise.
 //
 // Output: a self-describing table on stdout, plus BENCH_service.json in
 // the working directory so the perf trajectory is tracked across PRs.
@@ -28,7 +34,7 @@
 #include <vector>
 
 #include "catalog/tpch.h"
-#include "query/generator.h"
+#include "query/query.h"
 #include "service/optimizer_service.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -47,6 +53,56 @@ OperatorOptions ServiceBenchOperatorOptions() {
   return options;
 }
 
+// Builds `num_queries` overlapping 10-table queries: a shared 7-table
+// chain core (tables appended to the catalog once, predicates in a fixed
+// sequence) plus 3 per-query private tables chained off a rotating core
+// root. Shared sub-chains canonicalize onto identical fragment keys;
+// the private suffix keeps every query distinct for the scheduler.
+std::vector<Query> OverlappingWorkload(Catalog* catalog, Rng& rng,
+                                       int num_queries) {
+  constexpr int kCoreTables = 7;
+  constexpr int kPrivateTables = 3;
+  std::vector<TableId> core_ids;
+  std::vector<double> core_selectivities;
+  for (int i = 0; i < kCoreTables; ++i) {
+    TableDef def;
+    def.name = "core" + std::to_string(i);
+    def.cardinality = 1000.0 * (1 << (i % 5)) + 500.0 * i;
+    core_ids.push_back(catalog->AddTable(def));
+    core_selectivities.push_back(i % 2 == 0 ? 0.5 : 1.0);
+  }
+  std::vector<Query> workload;
+  for (int q = 0; q < num_queries; ++q) {
+    QueryBuilder b("overlap10_" + std::to_string(q));
+    std::vector<int> refs;
+    for (int i = 0; i < kCoreTables; ++i) {
+      refs.push_back(b.AddTable(core_ids[static_cast<size_t>(i)],
+                                core_selectivities[static_cast<size_t>(i)]));
+    }
+    for (int i = 0; i + 1 < kCoreTables; ++i) {
+      b.AddJoin(refs[static_cast<size_t>(i)],
+                refs[static_cast<size_t>(i + 1)],
+                1.0 / catalog->Get(core_ids[static_cast<size_t>(i + 1)])
+                          .cardinality);
+    }
+    // Private suffix: fresh random tables, chained off a rotating root —
+    // shared sub-graphs, different roots (predicates appended after the
+    // core sequence, keeping the core's canonical keys intact).
+    int attach = refs[static_cast<size_t>(q % kCoreTables)];
+    for (int i = 0; i < kPrivateTables; ++i) {
+      TableDef def;
+      def.name = "priv" + std::to_string(q) + "_" + std::to_string(i);
+      def.cardinality = rng.UniformDouble(1000.0, 100000.0);
+      const int ref = b.AddTable(catalog->AddTable(def),
+                                 rng.UniformDouble(0.1, 1.0));
+      b.AddJoin(attach, ref, 1.0 / def.cardinality);
+      attach = ref;
+    }
+    workload.push_back(b.Build());
+  }
+  return workload;
+}
+
 struct ConfigResult {
   int shards = 0;
   size_t inflight = 0;
@@ -58,12 +114,14 @@ struct ConfigResult {
 
 ConfigResult RunConfig(const Catalog& catalog,
                        const std::vector<Query>& workload, int threads,
-                       int shards, size_t inflight, int levels) {
+                       int shards, size_t inflight, int levels,
+                       size_t fragment_mb) {
   ServiceOptions service_options;
   service_options.num_threads = threads;
   service_options.num_shards = shards;
   service_options.frontier_cache_capacity = 0;  // Measure real work.
   service_options.coalesce_in_flight = false;   // Every submission runs.
+  service_options.fragment_cache_bytes = fragment_mb << 20;
   service_options.operator_options = ServiceBenchOperatorOptions();
   OptimizerService service(catalog, service_options);
 
@@ -128,70 +186,89 @@ int main(int argc, char** argv) {
     }
   }
 
-  // 10-table random topologies: large enough that one anytime step is
-  // real work, mixed shapes so shard turns have uneven lengths (the
-  // head-of-line case work stealing is meant to fix).
+  // 10-table overlapping queries (shared 7-table chain core, 3 private
+  // tables at rotating roots): large enough that one anytime step is
+  // real work, distinct enough that every submission runs, shared enough
+  // that the fragment store has something to say.
   const int kNumTables = 10;
   const int num_queries = full ? 12 : 6;
   const int levels = full ? 4 : 3;
   Catalog catalog = MakeTpchCatalog();
-  std::vector<Query> workload;
   Rng rng(77);
-  const Topology topologies[] = {Topology::kChain, Topology::kStar,
-                                 Topology::kCycle, Topology::kRandomTree};
-  for (int i = 0; i < num_queries; ++i) {
-    GeneratorOptions gen;
-    gen.num_tables = kNumTables;
-    gen.topology = topologies[i % 4];
-    Query q = RandomQuery(rng, gen, &catalog);
-    q.name = "rand10_" + std::to_string(i);
-    workload.push_back(std::move(q));
-  }
+  const std::vector<Query> workload =
+      OverlappingWorkload(&catalog, rng, num_queries);
 
   std::vector<int> shard_counts = {1, 2, 4};
   if (full && threads >= 8) shard_counts.push_back(8);
   std::vector<size_t> inflights = {1, 4,
                                    static_cast<size_t>(num_queries)};
+  // Each configuration runs without and with the fragment store, so the
+  // scheduler signal and the sharing signal stay separable.
+  const std::vector<size_t> fragment_mbs = {0, 64};
 
-  std::printf("# service throughput: %zu queries x %d tables per "
-              "configuration, %d worker threads total\n",
+  std::printf("# service throughput: %zu overlapping queries x %d tables "
+              "per configuration, %d worker threads total\n",
               workload.size(), kNumTables, threads);
-  std::printf("%7s %9s %8s %8s %8s %12s %12s %10s %8s\n", "shards",
-              "inflight", "queries", "wall_s", "qps", "ttff_p50_ms",
-              "ttff_p99_ms", "steps", "steals");
+  std::printf("%7s %9s %8s %8s %8s %8s %12s %12s %10s %8s %9s %9s\n",
+              "shards", "inflight", "frag_mb", "queries", "wall_s", "qps",
+              "ttff_p50_ms", "ttff_p99_ms", "steps", "steals", "frag_hit%",
+              "frag_pub");
 
   std::string json = "{\n  \"bench\": \"service_throughput\",\n";
   json += "  \"total_threads\": " + std::to_string(threads) + ",\n";
   json += "  \"num_tables\": " + std::to_string(kNumTables) + ",\n";
   json += "  \"levels\": " + std::to_string(levels) + ",\n";
+  json += "  \"workload\": \"overlapping_chain_core7_private3\",\n";
   json += "  \"queries_per_config\": " + std::to_string(workload.size()) +
           ",\n  \"configs\": [";
   bool first_row = true;
   for (int shards : shard_counts) {
     if (shards > threads) continue;  // Do not oversubscribe the budget.
     for (size_t inflight : inflights) {
-      const ConfigResult r =
-          RunConfig(catalog, workload, threads, shards, inflight, levels);
-      const double qps = r.wall_s > 0.0 ? r.queries / r.wall_s : 0.0;
-      const double p50 = Percentile(r.ttff_ms, 0.50);
-      const double p99 = Percentile(r.ttff_ms, 0.99);
-      std::printf("%7d %9zu %8zu %8.3f %8.2f %12.3f %12.3f %10llu %8llu\n",
-                  shards, inflight, r.queries, r.wall_s, qps, p50, p99,
-                  static_cast<unsigned long long>(r.stats.steps_executed),
-                  static_cast<unsigned long long>(r.stats.work_steals));
-      std::fflush(stdout);
-      char row[512];
-      std::snprintf(row, sizeof(row),
-                    "%s\n    {\"shards\": %d, \"inflight\": %zu, "
-                    "\"queries\": %zu, \"wall_s\": %.6f, \"qps\": %.3f, "
-                    "\"ttff_p50_ms\": %.3f, \"ttff_p99_ms\": %.3f, "
-                    "\"steps\": %llu, \"work_steals\": %llu}",
-                    first_row ? "" : ",", shards, inflight, r.queries,
-                    r.wall_s, qps, p50, p99,
-                    static_cast<unsigned long long>(r.stats.steps_executed),
-                    static_cast<unsigned long long>(r.stats.work_steals));
-      json += row;
-      first_row = false;
+      for (size_t fragment_mb : fragment_mbs) {
+        const ConfigResult r = RunConfig(catalog, workload, threads, shards,
+                                         inflight, levels, fragment_mb);
+        const double qps = r.wall_s > 0.0 ? r.queries / r.wall_s : 0.0;
+        const double p50 = Percentile(r.ttff_ms, 0.50);
+        const double p99 = Percentile(r.ttff_ms, 0.99);
+        const uint64_t lookups =
+            r.stats.fragment_hits + r.stats.fragment_misses;
+        const double hit_rate =
+            lookups > 0
+                ? 100.0 * static_cast<double>(r.stats.fragment_hits) /
+                      static_cast<double>(lookups)
+                : 0.0;
+        std::printf(
+            "%7d %9zu %8zu %8zu %8.3f %8.2f %12.3f %12.3f %10llu %8llu "
+            "%9.1f %9llu\n",
+            shards, inflight, fragment_mb, r.queries, r.wall_s, qps, p50,
+            p99, static_cast<unsigned long long>(r.stats.steps_executed),
+            static_cast<unsigned long long>(r.stats.work_steals), hit_rate,
+            static_cast<unsigned long long>(r.stats.fragment_publishes));
+        std::fflush(stdout);
+        char row[640];
+        std::snprintf(
+            row, sizeof(row),
+            "%s\n    {\"shards\": %d, \"inflight\": %zu, "
+            "\"fragment_mb\": %zu, "
+            "\"queries\": %zu, \"wall_s\": %.6f, \"qps\": %.3f, "
+            "\"ttff_p50_ms\": %.3f, \"ttff_p99_ms\": %.3f, "
+            "\"steps\": %llu, \"work_steals\": %llu, "
+            "\"fragment_hits\": %llu, \"fragment_misses\": %llu, "
+            "\"fragment_hit_rate\": %.4f, \"fragment_publishes\": %llu, "
+            "\"fragment_evictions\": %llu}",
+            first_row ? "" : ",", shards, inflight, fragment_mb, r.queries,
+            r.wall_s, qps, p50, p99,
+            static_cast<unsigned long long>(r.stats.steps_executed),
+            static_cast<unsigned long long>(r.stats.work_steals),
+            static_cast<unsigned long long>(r.stats.fragment_hits),
+            static_cast<unsigned long long>(r.stats.fragment_misses),
+            hit_rate / 100.0,
+            static_cast<unsigned long long>(r.stats.fragment_publishes),
+            static_cast<unsigned long long>(r.stats.fragment_evictions));
+        json += row;
+        first_row = false;
+      }
     }
   }
   json += "\n  ]\n}\n";

@@ -5,6 +5,7 @@
 // Usage:
 //   ./build/workload_server [--threads N] [--shards N] [--random N]
 //                           [--repeat N] [--deadline-ms D]
+//                           [--fragment-cache-mb M]
 //
 //   --threads N      total worker budget across all shards (default 4)
 //   --shards N       scheduler shards, each with its own run queue and
@@ -12,13 +13,23 @@
 //   --random N       number of random-topology queries mixed in (default 8)
 //   --repeat N       how many times the stream is replayed (default 2);
 //                    duplicates still in flight coalesce onto the running
-//                    leader, later replays are served from the frontier
-//                    cache
+//                    leader, identical replays are served from the
+//                    frontier cache, and each replay round > 0 swaps
+//                    every random query for an overlapping variant (one
+//                    more trailing table trimmed per round, down to 3
+//                    tables) that neither cache nor coalescing can serve
+//                    — the fragment store's case
 //   --deadline-ms D  per-query deadline (default: none)
+//   --fragment-cache-mb M  byte budget (MiB) of the cross-query plan-
+//                    fragment store (default 16; 0 disables sharing).
+//                    Overlapping queries seed shared sub-join-graph
+//                    frontiers from completed runs instead of
+//                    re-deriving them (docs/FRAGMENT_SHARING.md)
 //
 // Prints one line per finished query (state, iterations, frontier size,
 // time to first frontier) and a summary with queries/sec, p50/p99
-// time-to-first-frontier, and cache hits.
+// time-to-first-frontier, cache hits, and fragment-store hit/miss/
+// publish/evict counters.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -52,6 +63,27 @@ struct Track {
   QueryId id = kInvalidQueryId;
 };
 
+// An overlapping-but-distinct variant of `q`: the last `trim` table
+// references (trailing leaves in the chain/star/cycle topologies this
+// is applied to) and every predicate touching them are dropped,
+// preserving the remaining predicate sequence — so the variant shares
+// every surviving sub-join-graph with `q` and seeds it from the
+// fragment store instead of re-deriving it. Each replay round trims one
+// table more (down to 3 tables), so successive rounds stay distinct
+// canonical queries; once the cap is reached, further rounds repeat a
+// variant and are served by the whole-query cache instead.
+Query TrimLastTables(const Query& q, int trim) {
+  trim = std::min(trim, q.NumTables() - 3);
+  Query out;
+  out.name = q.name + "~" + std::to_string(trim);
+  out.tables.assign(q.tables.begin(), q.tables.end() - trim);
+  const int kept = q.NumTables() - trim;
+  for (const JoinPredicate& j : q.joins) {
+    if (j.left < kept && j.right < kept) out.joins.push_back(j);
+  }
+  return out;
+}
+
 const char* StateName(QueryState s) {
   switch (s) {
     case QueryState::kQueued: return "queued";
@@ -70,6 +102,7 @@ int main(int argc, char** argv) {
   int num_random = 8;
   int repeat = 2;
   double deadline_ms = 0.0;
+  int fragment_cache_mb = 16;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_next = i + 1 < argc;
@@ -83,15 +116,18 @@ int main(int argc, char** argv) {
       repeat = std::atoi(argv[++i]);
     } else if (arg == "--deadline-ms" && has_next) {
       deadline_ms = std::atof(argv[++i]);
+    } else if (arg == "--fragment-cache-mb" && has_next) {
+      fragment_cache_mb = std::atoi(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: workload_server [--threads N] [--shards N] "
-                   "[--random N] [--repeat N] [--deadline-ms D]\n");
+                   "[--random N] [--repeat N] [--deadline-ms D] "
+                   "[--fragment-cache-mb M]\n");
       return 1;
     }
   }
   if (threads < 1 || shards < 1 || num_random < 0 || repeat < 1 ||
-      deadline_ms < 0.0) {
+      deadline_ms < 0.0 || fragment_cache_mb < 0) {
     std::fprintf(stderr, "invalid flag value\n");
     return 1;
   }
@@ -100,21 +136,27 @@ int main(int argc, char** argv) {
   // the catalog concurrently, and RandomQuery appends tables to it.
   Catalog catalog = MakeTpchCatalog();
   std::vector<Query> stream = TpchQueryBlocks(catalog);
+  std::vector<bool> trimmable(stream.size(), false);
   Rng rng(2015);
+  // Leaf-trimmable topologies only: dropping the last table of a chain,
+  // star (the hub is t0), or cycle leaves a connected query.
   const Topology topologies[] = {Topology::kChain, Topology::kStar,
-                                 Topology::kCycle, Topology::kRandomTree};
+                                 Topology::kCycle};
   for (int i = 0; i < num_random; ++i) {
     GeneratorOptions gen;
     gen.num_tables = 4 + static_cast<int>(rng.UniformInt(0, 2));
-    gen.topology = topologies[i % 4];
+    gen.topology = topologies[i % 3];
     Query q = RandomQuery(rng, gen, &catalog);
     q.name = "rand" + std::to_string(i);
     stream.push_back(std::move(q));
+    trimmable.push_back(true);
   }
 
   ServiceOptions service_options;
   service_options.num_threads = threads;
   service_options.num_shards = shards;
+  service_options.fragment_cache_bytes =
+      static_cast<size_t>(fragment_cache_mb) << 20;
   OptimizerService service(catalog, service_options);
 
   SubmitOptions submit;
@@ -139,7 +181,14 @@ int main(int argc, char** argv) {
   // frontier cache.
   for (int round = 0; round < repeat; ++round) {
     std::vector<std::unique_ptr<Track>> tracks;
-    for (const Query& query : stream) {
+    for (size_t qi = 0; qi < stream.size(); ++qi) {
+      // Later rounds replay the random queries as overlapping variants:
+      // distinct canonical keys (no cache/coalescing), shared
+      // sub-join-graphs (fragment-store hits from earlier rounds'
+      // publishes).
+      const Query query = round > 0 && trimmable[qi]
+                              ? TrimLastTables(stream[qi], round)
+                              : stream[qi];
       auto track = std::make_unique<Track>();
       track->name = query.name;
       track->submitted = Clock::now();
@@ -192,5 +241,24 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.cache_hits),
               static_cast<unsigned long long>(stats.coalesced),
               static_cast<unsigned long long>(stats.work_steals));
+  const uint64_t fragment_lookups =
+      stats.fragment_hits + stats.fragment_misses;
+  if (fragment_cache_mb == 0) {
+    std::printf("fragment store: disabled (--fragment-cache-mb 0)\n");
+    return 0;
+  }
+  std::printf(
+      "fragment store (%d MiB): hits %llu / %llu lookups (%.1f%%), "
+      "publishes %llu, evictions %llu, resident %.1f KiB\n",
+      fragment_cache_mb,
+      static_cast<unsigned long long>(stats.fragment_hits),
+      static_cast<unsigned long long>(fragment_lookups),
+      fragment_lookups > 0
+          ? 100.0 * static_cast<double>(stats.fragment_hits) /
+                static_cast<double>(fragment_lookups)
+          : 0.0,
+      static_cast<unsigned long long>(stats.fragment_publishes),
+      static_cast<unsigned long long>(stats.fragment_evictions),
+      static_cast<double>(stats.fragment_bytes) / 1024.0);
   return 0;
 }

@@ -7,7 +7,8 @@ namespace moqo {
 std::string Counters::ToString() const {
   return StrFormat(
       "plans=%llu pairs=%llu stale_pairs=%llu cand_retrievals=%llu "
-      "prunes=%llu res_ins=%llu cand_ins=%llu discarded=%llu dom_checks=%llu",
+      "prunes=%llu res_ins=%llu cand_ins=%llu discarded=%llu dom_checks=%llu "
+      "frag_cells=%llu frag_plans=%llu",
       static_cast<unsigned long long>(plans_generated),
       static_cast<unsigned long long>(pairs_generated),
       static_cast<unsigned long long>(pairs_rejected_stale),
@@ -16,7 +17,9 @@ std::string Counters::ToString() const {
       static_cast<unsigned long long>(result_insertions),
       static_cast<unsigned long long>(candidate_insertions),
       static_cast<unsigned long long>(plans_discarded),
-      static_cast<unsigned long long>(dominance_checks));
+      static_cast<unsigned long long>(dominance_checks),
+      static_cast<unsigned long long>(fragment_cells_seeded),
+      static_cast<unsigned long long>(fragment_plans_seeded));
 }
 
 }  // namespace moqo

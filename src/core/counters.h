@@ -31,6 +31,13 @@ struct Counters {
   uint64_t plans_discarded = 0;  // Dominated at max resolution.
   // Dominance comparisons performed inside Prune.
   uint64_t dominance_checks = 0;
+  // Cross-query fragment sharing (core/fragment.h): cells whose result
+  // set was seeded from a FragmentProvider hit (and sealed against
+  // phase-2 enumeration), and the plans installed that way. Seeded plans
+  // do not count as plans_generated — the generation counters measure
+  // the work sharing saves.
+  uint64_t fragment_cells_seeded = 0;
+  uint64_t fragment_plans_seeded = 0;
 
   // Per-plan candidate retrieval counts (for Lemma 7 assertions). Only
   // maintained when `track_per_plan` is set.

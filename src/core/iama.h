@@ -132,7 +132,9 @@ struct IamaOptions {
   ResolutionSchedule schedule = ResolutionSchedule::Moderate(5);
   /// Default bounds (Algorithm 1 line 5); unset = unbounded.
   std::optional<CostVector> initial_bounds;
-  /// Per-invocation optimizer knobs (pruning design, threading, pool).
+  /// Per-invocation optimizer knobs (pruning design, threading, pool,
+  /// cross-query fragment sharing via OptimizerOptions::fragment_store /
+  /// OptimizerOptions::fragment_publish).
   OptimizerOptions optimizer;
 };
 
@@ -191,6 +193,12 @@ class IamaSession {
 
   /// The underlying incremental optimizer (live counters, plan arena).
   const IncrementalOptimizer& optimizer() const { return optimizer_; }
+  /// Mutable access to the optimizer, for serving layers that harvest
+  /// cross-query fragment publications after a completed run
+  /// (IncrementalOptimizer::TakePublishableFragments). Same threading
+  /// contract as Step(): only the thread driving the session, only
+  /// between invocations.
+  IncrementalOptimizer* mutable_optimizer() { return &optimizer_; }
   /// The bounds the next Step() will optimize under.
   const CostVector& bounds() const { return bounds_; }
   /// The resolution the next Step() will optimize at.

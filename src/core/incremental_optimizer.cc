@@ -97,6 +97,78 @@ IncrementalOptimizer::IncrementalOptimizer(const PlanFactory& factory,
       PrunePlan(q, e.id, e.cost, e.order, initial_bounds, /*resolution=*/0);
     }
   }
+
+  current_bounds_ = initial_bounds;
+  if (options_.fragment_publish) {
+    publish_log_.resize(size_t{1} << n);
+  }
+  if (options_.fragment_store != nullptr) SeedFragments(initial_bounds);
+}
+
+// Seeds every connected multi-table cell the provider knows: the stored
+// plans become opaque arena leaves and are replayed into the cell's
+// result index in the donor's chronological insertion order, each keeping
+// its original resolution stamp. Replay order matters — the cell index's
+// hash-map layout (and hence Collect's iteration order) then matches a
+// cold run's bit for bit. Entries are inserted with kNeverVisible so
+// their first Collect — which happens at the invocation of their
+// resolution stamp, exactly when the cold run would have inserted them —
+// classifies them as Δ. The cell itself is sealed: its phase-2
+// enumeration (and the generation work it stands for) never runs.
+void IncrementalOptimizer::SeedFragments(const CostVector& initial_bounds) {
+  (void)initial_bounds;  // The provider keys on the bounds already.
+  const int n = factory_.NumTables();
+  sealed_.assign(size_t{1} << n, 0);
+  const int needed = schedule_.MaxResolution();
+  for (size_t k = 2; k <= static_cast<size_t>(n); ++k) {
+    for (TableSet q : connected_by_size_[k]) {
+      std::optional<FragmentSeed> seed =
+          options_.fragment_store->Lookup(q, needed);
+      if (!seed.has_value()) continue;
+      CellIndex& res = res_.For(q);
+      for (const FragmentPlan& p : seed->plans) {
+        const PlanId id =
+            arena_.AddFragment(q, p.op, p.cost, p.output_rows, p.order);
+        res.Insert(id, p.cost, p.resolution, kNeverVisible, p.order);
+        ++counters_.fragment_plans_seeded;
+      }
+      sealed_[q.mask()] = 1;
+      ++counters_.fragment_cells_seeded;
+    }
+  }
+  // A cold store seeded nothing: drop the seal table so phase 2 keeps
+  // its zero-cost fast path (no per-level filtering) for the whole run.
+  if (counters_.fragment_cells_seeded == 0) sealed_.clear();
+}
+
+void IncrementalOptimizer::UnsealForBoundsChange() {
+  if (counters_.fragment_cells_seeded == 0 || sealed_.empty()) return;
+  sealed_.clear();
+  const int n = factory_.NumTables();
+  for (size_t k = 1; k <= static_cast<size_t>(n); ++k) {
+    for (TableSet q : connected_by_size_[k]) {
+      res_.For(q).ResetVisibility();
+    }
+  }
+}
+
+std::vector<IncrementalOptimizer::PublishableFragment>
+IncrementalOptimizer::TakePublishableFragments() {
+  std::vector<PublishableFragment> out;
+  if (!options_.fragment_publish || !publish_valid_ || last_resolution_ < 0) {
+    return out;
+  }
+  const int n = factory_.NumTables();
+  for (size_t k = 2; k <= static_cast<size_t>(n); ++k) {
+    for (TableSet q : connected_by_size_[k]) {
+      if (IsSealed(q)) continue;  // Already in the store; logs are empty.
+      std::vector<FragmentPlan>& log = publish_log_[q.mask()];
+      if (log.empty()) continue;
+      out.push_back({q, last_resolution_, std::move(log)});
+      log.clear();
+    }
+  }
+  return out;
 }
 
 void IncrementalOptimizer::PrunePlan(TableSet q, uint32_t plan_id,
@@ -106,9 +178,21 @@ void IncrementalOptimizer::PrunePlan(TableSet q, uint32_t plan_id,
   const int compare_resolution = options_.prune_against_all_resolutions
                                      ? schedule_.MaxResolution()
                                      : resolution;
-  Prune(res_.For(q), cand_.For(q), bounds, resolution, compare_resolution,
-        schedule_, plan_id, cost, order, invocation_,
-        options_.park_next_level_only, &counters_);
+  const PruneOutcome outcome =
+      Prune(res_.For(q), cand_.For(q), bounds, resolution, compare_resolution,
+            schedule_, plan_id, cost, order, invocation_,
+            options_.park_next_level_only, &counters_);
+  // Fragment publishing logs every multi-table result insertion in
+  // chronological order — replaying the log reproduces the cell's index
+  // layout exactly (see SeedFragments). Logging stops once the run
+  // diverged from the publishable fixed-bounds sequence.
+  if (outcome == PruneOutcome::kInsertedResult && !publish_log_.empty() &&
+      publish_valid_ && q.Count() >= 2) {
+    const PlanNode& node = arena_.at(plan_id);
+    publish_log_[q.mask()].push_back({cost, node.output_cardinality, node.op,
+                                      static_cast<uint8_t>(order),
+                                      static_cast<uint8_t>(resolution)});
+  }
 }
 
 void IncrementalOptimizer::Optimize(const CostVector& bounds,
@@ -120,6 +204,22 @@ void IncrementalOptimizer::Optimize(const CostVector& bounds,
   } else {
     first_optimize_done_ = true;  // Share invocation 1 with the seeding.
   }
+
+  // Fragment bookkeeping. A bounds change means the run no longer
+  // replays a fixed-bounds schedule: publishing stops, and any sealed
+  // cells must resume enumeration (their never-tried sub-plan pairings
+  // become reachable once the bounds move — see UnsealForBoundsChange).
+  if (!bounds.Equals(current_bounds_)) {
+    publish_valid_ = false;
+    UnsealForBoundsChange();
+    current_bounds_ = bounds;
+  }
+  // Publishable runs step resolutions 0,1,...,R (repeats of the last
+  // level allowed — such invocations are no-ops under fixed bounds).
+  if (resolution != last_resolution_ && resolution != last_resolution_ + 1) {
+    publish_valid_ = false;
+  }
+  last_resolution_ = resolution;
 
   const int n = factory_.NumTables();
 
@@ -162,6 +262,11 @@ void IncrementalOptimizer::Phase2Serial(const CostVector& bounds,
   std::vector<BatchEntry> batch;
   for (size_t k = 2; k <= static_cast<size_t>(n); ++k) {
     for (TableSet q : connected_by_size_[k]) {
+      // A sealed cell already carries its complete frontier (seeded from
+      // the fragment store); enumerating it would only regenerate plans
+      // the donor run produced. Its sub-cells still get collected by
+      // their other (non-sealed) consumers.
+      if (IsSealed(q)) continue;
       batch.clear();
       for (SubsetIter split(q); !split.Done(); split.Next()) {
         const TableSet q1 = split.Subset();
@@ -246,16 +351,27 @@ void IncrementalOptimizer::Phase2Parallel(const CostVector& bounds,
       collected[s.mask()] =
           res_.For(s).Collect(bounds, resolution, invocation_);
     }
-    const std::vector<TableSet>& level = connected_by_size_[k];
-    if (level.empty()) continue;
+    // Sealed (fragment-seeded) cells are excluded from the dispatch; the
+    // merge below then visits the same cells in the same canonical order
+    // as the serial path's seal-aware loop.
+    const std::vector<TableSet>* level = &connected_by_size_[k];
+    std::vector<TableSet> live;
+    if (!sealed_.empty()) {
+      live.reserve(level->size());
+      for (TableSet q : *level) {
+        if (!IsSealed(q)) live.push_back(q);
+      }
+      level = &live;
+    }
+    if (level->empty()) continue;
 
-    std::vector<EnumerationBuffer> buffers(level.size());
-    pool_->ParallelFor(level.size(), [&](size_t j) {
-      EnumerateFreshPairs(level[j], collected, &buffers[j]);
+    std::vector<EnumerationBuffer> buffers(level->size());
+    pool_->ParallelFor(level->size(), [&](size_t j) {
+      EnumerateFreshPairs((*level)[j], collected, &buffers[j]);
     });
 
-    for (size_t j = 0; j < level.size(); ++j) {
-      const TableSet q = level[j];
+    for (size_t j = 0; j < level->size(); ++j) {
+      const TableSet q = (*level)[j];
       EnumerationBuffer& buf = buffers[j];
       counters_.pairs_rejected_stale += buf.stale_pairs;
       for (const auto& [left, right] : buf.fresh_pairs) {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/counters.h"
+#include "core/fragment.h"
 #include "core/fresh.h"
 #include "core/resolution.h"
 #include "cost/cost_vector.h"
@@ -82,6 +83,22 @@ struct OptimizerOptions {
   // (num_threads is ignored; observable via IncrementalOptimizer::pool()
   // / owns_pool(), pinned by edge_cases_test).
   ThreadPool* pool = nullptr;
+  // Cross-query plan-fragment sharing (docs/FRAGMENT_SHARING.md). When
+  // set, the constructor offers every connected table subset with >= 2
+  // tables to the provider; on a hit the subset's result set is seeded
+  // with the stored frontier and the cell is *sealed* — phase-2
+  // enumeration skips it, which is where the cross-query work saving
+  // comes from. Seeding preserves bit-identical frontiers versus a cold
+  // run as long as the bounds never change; a bounds change automatically
+  // unseals every cell and re-enables full enumeration (results stay
+  // correct α-approximations, but are no longer bit-identical to a cold
+  // run that diverged at the same point). Must outlive the optimizer.
+  FragmentProvider* fragment_store = nullptr;
+  // Record each cell's chronological result-set insertions so a completed
+  // run can publish them back through the serving layer
+  // (TakePublishableFragments). Costs one log append per result
+  // insertion plus one FragmentPlan of memory per result plan.
+  bool fragment_publish = false;
 };
 
 class IncrementalOptimizer {
@@ -140,6 +157,31 @@ class IncrementalOptimizer {
   size_t NumResultEntries() const { return res_.TotalSize(); }
   size_t NumCandidateEntries() const { return cand_.TotalSize(); }
 
+  // --- Cross-query fragment sharing (docs/FRAGMENT_SHARING.md) ---
+
+  // One publishable cell: its chronological result insertions, valid for
+  // consumers running the same bounds/schedule through resolutions
+  // 0..resolution_complete.
+  struct PublishableFragment {
+    TableSet cell;
+    int resolution_complete = 0;
+    std::vector<FragmentPlan> plans;
+  };
+
+  // Moves out the per-cell insertion logs recorded under
+  // options.fragment_publish. Returns an empty vector unless the run so
+  // far was publishable: fixed bounds and resolutions stepped
+  // 0,1,2,...,R (trailing repeats of R allowed) — exactly the invocation
+  // sequence a no-interaction session produces. Sealed (seeded) cells
+  // are never re-published; their content already lives in the store.
+  std::vector<PublishableFragment> TakePublishableFragments();
+
+  // True when `cell`'s result set was seeded from the fragment provider
+  // and phase-2 enumeration is suppressed for it.
+  bool IsSealed(TableSet cell) const {
+    return !sealed_.empty() && sealed_[cell.mask()] != 0;
+  }
+
  private:
   // One join alternative of a fresh sub-plan pair, produced by a phase-2
   // worker; turned into an arena plan during the post-barrier merge.
@@ -160,6 +202,16 @@ class IncrementalOptimizer {
   // Runs Prune for a plan of table set q.
   void PrunePlan(TableSet q, uint32_t plan_id, const CostVector& cost,
                  int order, const CostVector& bounds, int resolution);
+
+  // Seeds and seals every connected multi-table cell the fragment
+  // provider has a frontier for (constructor tail).
+  void SeedFragments(const CostVector& initial_bounds);
+  // Bounds changed on an optimizer that consumed fragments: unseal every
+  // cell and force-Δ all result entries, so the pairings the sealed
+  // cells never enumerated are (re)tried. The fresh-pair registry keeps
+  // already-combined pairs from generating twice; the re-enumeration is
+  // a one-time cost of diverging a seeded run.
+  void UnsealForBoundsChange();
 
   // Phase 2 (Algorithm 2 lines 13-22): single-threaded reference path and
   // the sharded merge-after-barrier path selected by options_.num_threads.
@@ -195,6 +247,22 @@ class IncrementalOptimizer {
   // Per-invocation cache of Collect() results by table-set mask, reused
   // across Phase2Parallel calls to avoid re-allocating 2^n vectors.
   std::vector<std::vector<CellIndex::Collected>> collected_;
+
+  // --- Fragment sharing state ---
+  // By mask: 1 = cell seeded from the provider, phase 2 skips it. Empty
+  // when no provider was given or after UnsealForBoundsChange.
+  std::vector<uint8_t> sealed_;
+  // By mask: chronological result-set insertions (fragment_publish).
+  std::vector<std::vector<FragmentPlan>> publish_log_;
+  // Bounds of the previous invocation; a mismatch marks the run diverged
+  // (publishing stops, sealed cells unseal).
+  CostVector current_bounds_;
+  // Resolution of the previous invocation (-1 before the first); the
+  // publishable sequence is 0,1,2,...,R with trailing repeats of R.
+  int last_resolution_ = -1;
+  // False once the invocation history stops matching a fixed-bounds
+  // no-interaction run; TakePublishableFragments then returns nothing.
+  bool publish_valid_ = true;
 };
 
 }  // namespace moqo

@@ -182,6 +182,16 @@ std::vector<CellIndex::Entry> CellIndex::Drain(const CostVector& bounds,
   return removed;
 }
 
+void CellIndex::ResetVisibility() {
+  for (auto& [key, cell] : cells_) {
+    (void)key;
+    for (Entry& e : cell) {
+      e.last_visible = kNeverVisible;
+      e.delta = true;
+    }
+  }
+}
+
 void CellIndex::Clear() {
   cells_.clear();
   size_ = 0;

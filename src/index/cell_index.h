@@ -34,6 +34,13 @@ namespace moqo {
 // entries with any interesting-order tag.
 inline constexpr int kAnyOrder = -1;
 
+// Visibility-stamp sentinel: an entry whose last_visible is kNeverVisible
+// classifies as Δ at its first Collect in *any* invocation i >= 1
+// (kNeverVisible + 1 wraps to 0, which never equals a live invocation
+// number). Used for seeded fragment entries and by ResetVisibility —
+// real invocation counters start at 1 and can never reach it.
+inline constexpr uint32_t kNeverVisible = 0xFFFFFFFFu;
+
 class CellIndex {
  public:
   struct Entry {
@@ -107,6 +114,14 @@ class CellIndex {
   // cost ⪯ bounds. (Used to re-consider candidate plans: Algorithm 2
   // lines 8-9 retrieve and delete candidates before pruning them again.)
   std::vector<Entry> Drain(const CostVector& bounds, int max_res);
+
+  // Marks every entry as never collected (last_visible = kNeverVisible),
+  // so the next Collect classifies all of them as Δ regardless of the
+  // invocation number. Used when a bounds change hits a fragment-seeded
+  // optimizer: sealed cells were never enumerated, so their sub-plan
+  // pairings must all be (re)tried — the fresh-pair registry keeps
+  // already-combined pairs from generating twice.
+  void ResetVisibility();
 
   size_t size() const { return size_; }
   size_t NumCells() const { return cells_.size(); }

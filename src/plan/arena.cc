@@ -33,4 +33,18 @@ PlanId PlanArena::AddJoin(TableSet tables, PlanId left, PlanId right,
   return static_cast<PlanId>(nodes_.size() - 1);
 }
 
+PlanId PlanArena::AddFragment(TableSet tables, OperatorDesc op,
+                              const CostVector& cost,
+                              double output_cardinality, uint8_t order) {
+  PlanNode node;
+  node.tables = tables;
+  node.op = op;
+  node.cost = cost;
+  node.output_cardinality = output_cardinality;
+  node.order = order;
+  node.is_fragment = true;
+  nodes_.push_back(node);
+  return static_cast<PlanId>(nodes_.size() - 1);
+}
+
 }  // namespace moqo

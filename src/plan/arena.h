@@ -26,6 +26,13 @@ class PlanArena {
   PlanId AddJoin(TableSet tables, PlanId left, PlanId right, OperatorDesc op,
                  const CostVector& cost, double output_cardinality,
                  uint8_t order = 0);
+  // An opaque leaf standing for a complete sub-join tree imported from a
+  // shared cross-query plan fragment (core/fragment.h). `tables` is the
+  // fragment's whole table set; `op` is the donor root's operator
+  // (display only). The node has no children — joins above it only read
+  // the cached cost, cardinality, and order, exactly like any sub-plan.
+  PlanId AddFragment(TableSet tables, OperatorDesc op, const CostVector& cost,
+                     double output_cardinality, uint8_t order = 0);
 
   const PlanNode& at(PlanId id) const {
     MOQO_CHECK(id < nodes_.size());

@@ -34,6 +34,11 @@ struct PlanNode {
   // Interesting tuple order produced by this plan (paper §4.3): 0 = no
   // particular order; k > 0 = sorted on the key of join predicate k-1.
   uint8_t order = 0;
+  // True for opaque leaves materialized from a shared cross-query plan
+  // fragment (core/fragment.h): the node stands for a whole sub-join
+  // tree whose structure lives in the donor query's (freed) arena; only
+  // the cached cost, cardinality, and order are meaningful.
+  bool is_fragment = false;
 
   bool IsScan() const { return left == kInvalidPlan; }
 };

@@ -11,9 +11,27 @@ std::string RefName(const Query& query, TableSet tables) {
   return ref.alias.empty() ? StrFormat("t%d", t) : ref.alias;
 }
 
+// "Fragment{t0,t2,t3}": an opaque leaf imported from the cross-query
+// fragment store — the sub-tree's structure lives in the donor's arena.
+std::string FragmentName(const Query& query, TableSet tables) {
+  std::string out = "Fragment{";
+  bool first = true;
+  for (TableIter it(tables); !it.Done(); it.Next()) {
+    if (!first) out += ",";
+    first = false;
+    out += RefName(query, TableSet::Singleton(it.Table()));
+  }
+  out += "}";
+  return out;
+}
+
 void AppendPlan(const PlanArena& arena, PlanId id, const Query& query,
                 std::string* out) {
   const PlanNode& node = arena.at(id);
+  if (node.is_fragment) {
+    *out += FragmentName(query, node.tables);
+    return;
+  }
   if (node.IsScan()) {
     *out += node.op.ToString();
     *out += "(";
@@ -33,11 +51,15 @@ void AppendTree(const PlanArena& arena, PlanId id, const Query& query,
                 int depth, std::string* out) {
   const PlanNode& node = arena.at(id);
   out->append(static_cast<size_t>(depth) * 2, ' ');
-  *out += node.op.ToString();
-  if (node.IsScan()) {
-    *out += "(";
-    *out += RefName(query, node.tables);
-    *out += ")";
+  if (node.is_fragment) {
+    *out += FragmentName(query, node.tables);
+  } else {
+    *out += node.op.ToString();
+    if (node.IsScan()) {
+      *out += "(";
+      *out += RefName(query, node.tables);
+      *out += ")";
+    }
   }
   *out += StrFormat("  rows=%.3g cost=", node.output_cardinality);
   *out += node.cost.ToString();

@@ -1,0 +1,364 @@
+#include "service/fragment_store.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/str.h"
+
+namespace moqo {
+namespace {
+
+// Canonical interesting-order tag encoding (docs/FRAGMENT_SHARING.md):
+//   0        = no order;
+//   1 + p    = sorted on the fragment's p-th internal predicate
+//              (sequence position among the predicates internal to the
+//              cell, in query join order), p <= 126;
+//   128 + k  = sorted on an external predicate incident to the cell's
+//              k-th table (ascending local index). External predicates
+//              touch exactly one fragment table, so k identifies the
+//              class; the consumer maps it back to its own first
+//              incident predicate.
+constexpr int kMaxInternalOrderPos = 126;
+constexpr int kExternalOrderBase = 128;
+
+// Per-entry LRU overhead estimate (list/map nodes, shared_ptr control
+// block) on top of the key string and the fragment payload.
+constexpr size_t kEntryOverheadBytes = 128;
+
+}  // namespace
+
+// --- FragmentStore ----------------------------------------------------------
+
+struct FragmentStore::Shard {
+  using LruList =
+      std::list<std::pair<std::string, std::shared_ptr<const StoredFragment>>>;
+
+  std::mutex mu;
+  LruList lru;  // Front = most recently used.
+  std::unordered_map<std::string, LruList::iterator> index;
+  size_t bytes = 0;
+  // Monotonic counters, aggregated by Stats().
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t publishes = 0;
+  uint64_t publish_ignored = 0;
+  uint64_t evictions = 0;
+};
+
+FragmentStore::FragmentStore(Options options) : options_(options) {
+  MOQO_CHECK(options_.num_shards >= 1);
+  shard_capacity_ =
+      options_.capacity_bytes / static_cast<size_t>(options_.num_shards);
+  shards_.reserve(static_cast<size_t>(options_.num_shards));
+  for (int i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+FragmentStore::~FragmentStore() = default;
+
+FragmentStore::Shard& FragmentStore::ShardFor(const std::string& key) {
+  return *shards_[Fnv1a64(key) % shards_.size()];
+}
+
+std::shared_ptr<const StoredFragment> FragmentStore::Lookup(
+    const std::string& key, int min_resolution) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end() ||
+      it->second->second->resolution_complete < min_resolution) {
+    ++shard.misses;
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
+  return it->second->second;
+}
+
+void FragmentStore::Publish(const std::string& key,
+                            std::shared_ptr<const StoredFragment> fragment) {
+  MOQO_CHECK(fragment != nullptr);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard_capacity_ == 0) {
+    ++shard.publish_ignored;
+    return;
+  }
+  const size_t entry_bytes =
+      key.size() + fragment->ApproxBytes() + kEntryOverheadBytes;
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Replace only with a strictly finer run; a coarser or equal
+    // publication carries no new information (prefix property).
+    if (it->second->second->resolution_complete >=
+        fragment->resolution_complete) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      ++shard.publish_ignored;
+      return;
+    }
+    shard.bytes -= key.size() + it->second->second->ApproxBytes() +
+                   kEntryOverheadBytes;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  shard.lru.emplace_front(key, std::move(fragment));
+  shard.index.emplace(key, shard.lru.begin());
+  shard.bytes += entry_bytes;
+  ++shard.publishes;
+  // Enforce the byte budget from the LRU tail. A fragment larger than
+  // the whole shard budget evicts everything including itself — the
+  // store never over-retains.
+  while (shard.bytes > shard_capacity_ && !shard.lru.empty()) {
+    const auto& victim = shard.lru.back();
+    shard.bytes -=
+        victim.first.size() + victim.second->ApproxBytes() + kEntryOverheadBytes;
+    shard.index.erase(victim.first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+FragmentStoreStats FragmentStore::Stats() const {
+  FragmentStoreStats out;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.publishes += shard->publishes;
+    out.publish_ignored += shard->publish_ignored;
+    out.evictions += shard->evictions;
+    out.entries += shard->index.size();
+    out.bytes += shard->bytes;
+  }
+  return out;
+}
+
+// --- FragmentQueryBinding ---------------------------------------------------
+
+FragmentQueryBinding::FragmentQueryBinding(const Query& query,
+                                           const MetricSchema& schema,
+                                           const IamaOptions& iama,
+                                           bool orders_enabled,
+                                           uint64_t epoch)
+    : tables_(query.tables),
+      joins_(query.joins),
+      orders_enabled_(orders_enabled) {
+  // Local order tags are 1 + predicate index; past 255 the factory
+  // clamps tags to 0, which would alias "no order" — such queries are
+  // excluded from sharing entirely.
+  shareable_ = joins_.size() <= 255;
+
+  // The shared key prefix: everything per-service or per-submission that
+  // the per-cell frontier depends on beyond the sub-join-graph itself.
+  context_ = "f1;e=";
+  context_ += std::to_string(epoch);
+  context_ += ";m=";
+  for (MetricId m : schema.metrics()) {
+    context_ += std::to_string(static_cast<int>(m));
+    context_ += ',';
+  }
+  const ResolutionSchedule& sched = iama.schedule;
+  context_ += ";s=";
+  context_ += std::to_string(sched.NumLevels());
+  context_ += ':';
+  AppendHexDouble(&context_, sched.alpha_target());
+  context_ += ':';
+  AppendHexDouble(&context_, sched.alpha_step());
+  context_ += ':';
+  context_ += std::to_string(static_cast<int>(sched.kind()));
+  context_ += ";b=";
+  if (iama.initial_bounds.has_value()) {
+    const CostVector& b = *iama.initial_bounds;
+    for (int i = 0; i < b.dims(); ++i) {
+      AppendHexDouble(&context_, b[i]);
+      context_ += ',';
+    }
+  } else {
+    context_ += "inf";
+  }
+  const OptimizerOptions& opt = iama.optimizer;
+  context_ += ";o=";
+  AppendHexDouble(&context_, opt.cell_gamma);
+  context_ += opt.prune_against_all_resolutions ? ":1" : ":0";
+  context_ += opt.park_next_level_only ? ":1" : ":0";
+  context_ += opt.sorted_pruning ? ":1" : ":0";
+  context_ += orders_enabled_ ? ":1" : ":0";
+}
+
+const FragmentQueryBinding::CellInfo* FragmentQueryBinding::InfoFor(
+    TableSet cell) {
+  auto it = cells_.find(cell.mask());
+  if (it == cells_.end()) {
+    it = cells_.emplace(cell.mask(), CellInfo{}).first;
+    BuildCellInfo(cell, &it->second);
+  }
+  return &it->second;
+}
+
+void FragmentQueryBinding::BuildCellInfo(TableSet cell,
+                                         CellInfo* info) const {
+  if (!shareable_ || cell.Count() < 2) return;  // Stays ineligible.
+
+  // Canonical table numbering: ascending local index. Order-preserving
+  // renumberings therefore collide onto the same key, which is exactly
+  // the class of relabelings under which the cell's bottom-up evolution
+  // (subset iteration order, batch order, hash layout) is isomorphic.
+  int canon_pos[kMaxTables];
+  std::fill(canon_pos, canon_pos + kMaxTables, -1);
+  int num_cell_tables = 0;
+  for (TableIter it(cell); !it.Done(); it.Next()) {
+    canon_pos[it.Table()] = num_cell_tables++;
+  }
+
+  std::string key = context_;
+  key += ";n=";
+  key += std::to_string(num_cell_tables);
+  key += ";t=";
+  for (TableIter it(cell); !it.Done(); it.Next()) {
+    const TableRef& ref = tables_[static_cast<size_t>(it.Table())];
+    key += std::to_string(ref.table);
+    key += ':';
+    AppendHexDouble(&key, ref.predicate_selectivity);
+    key += ',';
+  }
+
+  // Internal predicates, in query join order (the sequence feeds the
+  // interesting-order tags and the FirstPredicateBetween choices).
+  key += ";p=";
+  int internal_pos = 0;
+  for (size_t j = 0; j < joins_.size(); ++j) {
+    const JoinPredicate& pred = joins_[j];
+    if (!cell.Contains(pred.left) || !cell.Contains(pred.right)) continue;
+    if (orders_enabled_) {
+      if (internal_pos > kMaxInternalOrderPos) return;  // Tag overflow.
+      info->local_to_canonical[1 + static_cast<int>(j)] = 1 + internal_pos;
+      info->canonical_to_local[1 + internal_pos] = 1 + static_cast<int>(j);
+    }
+    const int cl = canon_pos[pred.left];
+    const int cr = canon_pos[pred.right];
+    key += std::to_string(std::min(cl, cr));
+    key += '+';
+    key += std::to_string(std::max(cl, cr));
+    key += ':';
+    AppendHexDouble(&key, pred.selectivity);
+    key += ',';
+    ++internal_pos;
+  }
+
+  // Per-table scan-order signature: an index scan's tag is the table's
+  // globally-first incident predicate, which may lie outside the cell.
+  // The signature pins whether that tag coincides with an internal
+  // predicate (and which), forms its own class ("x"), or is absent — the
+  // three cases behave differently inside the cell's pruning.
+  key += ";g=";
+  if (orders_enabled_) {
+    for (TableIter it(cell); !it.Done(); it.Next()) {
+      const int t = it.Table();
+      int first_incident = -1;
+      for (size_t j = 0; j < joins_.size(); ++j) {
+        if (joins_[j].left == t || joins_[j].right == t) {
+          first_incident = static_cast<int>(j);
+          break;
+        }
+      }
+      if (first_incident < 0) {
+        key += "0,";
+        continue;
+      }
+      const JoinPredicate& pred = joins_[static_cast<size_t>(first_incident)];
+      if (cell.Contains(pred.left) && cell.Contains(pred.right)) {
+        // Internal: already mapped above; record which position.
+        key += 'i';
+        key += std::to_string(
+            info->local_to_canonical.at(1 + first_incident) - 1);
+        key += ',';
+      } else {
+        const int k = canon_pos[t];
+        info->local_to_canonical[1 + first_incident] = kExternalOrderBase + k;
+        info->canonical_to_local[kExternalOrderBase + k] = 1 + first_incident;
+        key += "x,";
+      }
+    }
+  } else {
+    key += '-';
+  }
+
+  info->eligible = true;
+  info->key = std::move(key);
+}
+
+const std::string* FragmentQueryBinding::KeyFor(TableSet cell) {
+  const CellInfo* info = InfoFor(cell);
+  return info->eligible ? &info->key : nullptr;
+}
+
+bool FragmentQueryBinding::OrdersToCanonical(TableSet cell,
+                                             std::vector<FragmentPlan>* plans) {
+  const CellInfo* info = InfoFor(cell);
+  if (!info->eligible) return false;
+  for (FragmentPlan& p : *plans) {
+    if (p.order == 0) continue;
+    auto it = info->local_to_canonical.find(p.order);
+    if (it == info->local_to_canonical.end()) return false;
+    p.order = static_cast<uint8_t>(it->second);
+  }
+  return true;
+}
+
+void FragmentQueryBinding::OrdersToLocal(TableSet cell,
+                                         std::vector<FragmentPlan>* plans) {
+  const CellInfo* info = InfoFor(cell);
+  MOQO_CHECK(info->eligible);
+  for (FragmentPlan& p : *plans) {
+    if (p.order == 0) continue;
+    // Key equality implies an identical canonical tag universe, so every
+    // stored tag translates.
+    p.order = static_cast<uint8_t>(info->canonical_to_local.at(p.order));
+  }
+}
+
+// --- FragmentStoreProvider --------------------------------------------------
+
+FragmentStoreProvider::FragmentStoreProvider(FragmentStore* store,
+                                             const Query& query,
+                                             const MetricSchema& schema,
+                                             const IamaOptions& iama,
+                                             bool orders_enabled,
+                                             int min_tables)
+    : store_(store),
+      binding_(query, schema, iama, orders_enabled, store->epoch()),
+      min_tables_(std::max(2, min_tables)) {
+  MOQO_CHECK(store != nullptr);
+}
+
+std::optional<FragmentSeed> FragmentStoreProvider::Lookup(
+    TableSet cell, int needed_resolution) {
+  if (cell.Count() < min_tables_) return std::nullopt;
+  const std::string* key = binding_.KeyFor(cell);
+  if (key == nullptr) return std::nullopt;
+  std::shared_ptr<const StoredFragment> stored =
+      store_->Lookup(*key, needed_resolution);
+  if (stored == nullptr) return std::nullopt;
+  FragmentSeed seed;
+  seed.resolution_complete = stored->resolution_complete;
+  seed.plans = stored->plans;  // Copy; the shared snapshot stays immutable.
+  binding_.OrdersToLocal(cell, &seed.plans);
+  return seed;
+}
+
+void FragmentStoreProvider::PublishAll(
+    std::vector<IncrementalOptimizer::PublishableFragment> fragments) {
+  for (IncrementalOptimizer::PublishableFragment& frag : fragments) {
+    if (frag.cell.Count() < min_tables_) continue;
+    const std::string* key = binding_.KeyFor(frag.cell);
+    if (key == nullptr) continue;
+    if (!binding_.OrdersToCanonical(frag.cell, &frag.plans)) continue;
+    auto stored = std::make_shared<StoredFragment>();
+    stored->resolution_complete = frag.resolution_complete;
+    stored->plans = std::move(frag.plans);
+    store_->Publish(*key, std::move(stored));
+  }
+}
+
+}  // namespace moqo

@@ -1,0 +1,243 @@
+/// \file
+/// FragmentStore: cross-query Pareto plan-fragment sharing.
+///
+/// The whole-query LRU cache and in-flight coalescing (PRs 2-3) only
+/// reuse work between *bit-identical* queries. The fragment store turns
+/// the optimizer's own intermediate structure — the per-sub-join-graph
+/// Pareto frontiers IAMA builds bottom-up — into a cross-query cache:
+/// a completed run publishes every connected multi-table cell's result
+/// frontier under a canonical sub-join-graph key, and later runs whose
+/// queries merely *overlap* seed those cells from the store instead of
+/// enumerating them (IncrementalOptimizer seals seeded cells). With
+/// sharing enabled, final frontiers stay bit-identical to cold
+/// sequential runs — seeding replays the donor's chronological insertion
+/// log, which reproduces the cold cell state at every resolution (see
+/// docs/FRAGMENT_SHARING.md for the full argument and its limits).
+///
+/// **Canonical keying.** A cell's key captures exactly what its frontier
+/// depends on: the fragment's table references (catalog id + local
+/// predicate selectivity) in consumer order, its internal join
+/// predicates (canonical endpoints + selectivity, sequence preserved —
+/// predicate indices feed the interesting-order tags), each table's
+/// scan-order signature (whether an index scan's order tag refers to an
+/// internal predicate, an external one, or none), the metric set, the
+/// catalog epoch, and the result-affecting session options (schedule,
+/// bounds, cell gamma, pruning flags). Thread counts are excluded — the
+/// parallel engine is frontier-equivalent. Order tags are translated to
+/// a fragment-relative canonical encoding on publish and back to the
+/// consumer's local tags on lookup, so queries that number their tables
+/// or predicates differently still share (order-preserving renumberings
+/// collide onto one key; others conservatively miss).
+///
+/// **Concurrency & memory.** The store is sharded (FNV-1a of the key);
+/// each shard holds an LRU list bounded by its slice of the byte budget.
+/// Values are immutable, refcounted frontier snapshots
+/// (std::shared_ptr<const StoredFragment>): eviction drops the shard's
+/// reference while in-flight readers keep theirs, so lookups never block
+/// on publishers beyond the shard mutex and no snapshot is ever mutated
+/// after insertion.
+#ifndef MOQO_SERVICE_FRAGMENT_STORE_H_
+#define MOQO_SERVICE_FRAGMENT_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/fragment.h"
+#include "core/iama.h"
+#include "core/incremental_optimizer.h"
+#include "cost/metric.h"
+#include "query/query.h"
+
+namespace moqo {
+
+/// An immutable published fragment: one cell's complete result-set
+/// insertion history, with order tags in canonical (fragment-relative)
+/// encoding. Shared by reference between the store and concurrent
+/// readers; never mutated after construction.
+struct StoredFragment {
+  /// Finest resolution level the donor run completed for the cell.
+  int resolution_complete = 0;
+  /// Chronological result insertions (canonical order tags).
+  std::vector<FragmentPlan> plans;
+
+  /// Approximate heap footprint, used for the store's byte accounting.
+  size_t ApproxBytes() const {
+    return sizeof(StoredFragment) + plans.size() * sizeof(FragmentPlan);
+  }
+};
+
+/// Monotonic store counters (Stats()); "hits" and "misses" count Lookup
+/// outcomes, a too-coarse stored run counts as a miss.
+struct FragmentStoreStats {
+  uint64_t hits = 0;          ///< Lookups served from the store.
+  uint64_t misses = 0;        ///< Lookups not served (absent / too coarse).
+  uint64_t publishes = 0;     ///< Fragments inserted or upgraded.
+  uint64_t publish_ignored = 0;  ///< Publishes dropped for an existing
+                                 ///< finer-or-equal entry.
+  uint64_t evictions = 0;     ///< Entries evicted by the byte budget.
+  uint64_t entries = 0;       ///< Current resident fragments.
+  uint64_t bytes = 0;         ///< Current resident bytes (approximate).
+};
+
+/// The concurrent, sharded, LRU-byte-bounded fragment store. One store
+/// serves all scheduler shards of an OptimizerService; it can also be
+/// used standalone (tests, custom serving layers). Thread-safe.
+class FragmentStore {
+ public:
+  /// Store-wide configuration, fixed at construction.
+  struct Options {
+    /// Total byte budget across all shards; 0 stores nothing (every
+    /// Lookup misses, every Publish is dropped immediately).
+    size_t capacity_bytes = 0;
+    /// Internal lock shards; >= 1. More shards reduce contention when
+    /// many scheduler threads publish and look up concurrently.
+    int num_shards = 8;
+  };
+
+  /// Creates the store with `options.capacity_bytes` split evenly
+  /// across `options.num_shards` LRU shards.
+  explicit FragmentStore(Options options);
+  /// Releases the shards (out-of-line: Shard is private and incomplete
+  /// for users of this header).
+  ~FragmentStore();
+
+  /// Not copyable: shards own mutexes and shared entries.
+  FragmentStore(const FragmentStore&) = delete;
+  /// Not copy-assignable (same ownership reasons).
+  FragmentStore& operator=(const FragmentStore&) = delete;
+
+  /// Returns the fragment stored under `key` if its resolution_complete
+  /// is at least `min_resolution` (and touches its LRU position), else
+  /// nullptr. The returned snapshot stays valid after eviction — readers
+  /// hold their own reference.
+  std::shared_ptr<const StoredFragment> Lookup(const std::string& key,
+                                               int min_resolution);
+
+  /// Inserts `fragment` under `key`. An existing entry is replaced only
+  /// by a strictly finer run (larger resolution_complete); otherwise the
+  /// publish is dropped and the resident entry's LRU position refreshed.
+  /// Inserting may evict least-recently-used entries — including, when a
+  /// single fragment exceeds the shard budget, the new entry itself.
+  void Publish(const std::string& key,
+               std::shared_ptr<const StoredFragment> fragment);
+
+  /// Current epoch, folded into every canonical key built against this
+  /// store. Starts at 0.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+  /// Invalidates every resident fragment logically by advancing the
+  /// epoch: keys built afterwards (FragmentQueryBinding) never match
+  /// entries published under the old epoch, which age out via LRU. The
+  /// hook for catalog/statistics refresh.
+  void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Aggregated counters across all shards.
+  FragmentStoreStats Stats() const;
+
+ private:
+  struct Shard;
+
+  Shard& ShardFor(const std::string& key);
+
+  Options options_;
+  size_t shard_capacity_ = 0;
+  std::atomic<uint64_t> epoch_{0};
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Canonicalizes one query's sub-join-graphs against a fragment store
+/// epoch: builds per-cell keys and translates interesting-order tags
+/// between the query's local predicate numbering and the fragment-
+/// relative canonical encoding. Built once per run (it copies what it
+/// needs from the query); not thread-safe — each run owns its binding.
+class FragmentQueryBinding {
+ public:
+  /// Captures the key ingredients: the query's tables/predicates, the
+  /// metric set, the result-affecting options of `iama` (schedule,
+  /// bounds, optimizer flags), `orders_enabled` (operator options), and
+  /// the store `epoch`.
+  FragmentQueryBinding(const Query& query, const MetricSchema& schema,
+                       const IamaOptions& iama, bool orders_enabled,
+                       uint64_t epoch);
+
+  /// False when the query cannot participate in fragment sharing at all
+  /// (interesting-order tag domain exhausted: >= 255 join predicates).
+  bool shareable() const { return shareable_; }
+
+  /// The canonical sub-join-graph key for `cell`, or nullptr when the
+  /// cell is ineligible (fewer than two tables, or its canonical order
+  /// encoding does not fit the tag domain). Cached per cell.
+  const std::string* KeyFor(TableSet cell);
+
+  /// Rewrites `plans`' order tags from this query's local encoding to
+  /// the canonical fragment-relative one (publish direction). Returns
+  /// false — leaving `plans` partially rewritten and unusable — if a tag
+  /// cannot be translated; callers must then drop the cell.
+  bool OrdersToCanonical(TableSet cell, std::vector<FragmentPlan>* plans);
+
+  /// Rewrites `plans`' order tags from canonical back to this query's
+  /// local encoding (lookup direction). Total for any fragment stored
+  /// under KeyFor(cell) — key equality implies an identical tag
+  /// universe.
+  void OrdersToLocal(TableSet cell, std::vector<FragmentPlan>* plans);
+
+ private:
+  struct CellInfo {
+    bool eligible = false;
+    std::string key;
+    // Order-tag translation maps; tag 0 is implicit in both directions.
+    std::unordered_map<int, int> local_to_canonical;
+    std::unordered_map<int, int> canonical_to_local;
+  };
+
+  const CellInfo* InfoFor(TableSet cell);
+  void BuildCellInfo(TableSet cell, CellInfo* info) const;
+
+  // Copies (not references): publishing outlives the run's Query.
+  std::vector<TableRef> tables_;
+  std::vector<JoinPredicate> joins_;
+  std::string context_;  // Shared key prefix: epoch, metrics, options.
+  bool orders_enabled_ = false;
+  bool shareable_ = true;
+  std::unordered_map<uint32_t, CellInfo> cells_;
+};
+
+/// Adapts a FragmentStore to the core FragmentProvider hook for one run:
+/// Lookup canonicalizes the cell, consults the store, and localizes the
+/// hit's order tags; PublishAll pushes a completed run's exported cells
+/// back. Owned by the run; not thread-safe (the stepping shard drives
+/// it).
+class FragmentStoreProvider : public FragmentProvider {
+ public:
+  /// Binds `store` (which must outlive the provider) to one run's query
+  /// and options. Cells with fewer than `min_tables` tables are ignored
+  /// in both directions; `min_tables` is clamped to >= 2.
+  FragmentStoreProvider(FragmentStore* store, const Query& query,
+                        const MetricSchema& schema, const IamaOptions& iama,
+                        bool orders_enabled, int min_tables);
+
+  /// FragmentProvider hook: store lookup + order-tag localization.
+  std::optional<FragmentSeed> Lookup(TableSet cell,
+                                     int needed_resolution) override;
+
+  /// Publishes a completed run's cells
+  /// (IncrementalOptimizer::TakePublishableFragments output). Cells that
+  /// were seeded, are too small, or fail canonicalization are skipped.
+  void PublishAll(std::vector<IncrementalOptimizer::PublishableFragment>
+                      fragments);
+
+ private:
+  FragmentStore* store_;
+  FragmentQueryBinding binding_;
+  int min_tables_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_SERVICE_FRAGMENT_STORE_H_

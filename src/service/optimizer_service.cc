@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "util/str.h"
+
 namespace moqo {
 namespace {
 
@@ -12,28 +14,11 @@ using Clock = std::chrono::steady_clock;
 
 // Exact textual rendering (hexfloat) so that cache keys distinguish any
 // two selectivities / bounds that could produce different cost vectors.
-void AppendDouble(std::string* out, double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%a", v);
-  *out += buf;
-}
+void AppendDouble(std::string* out, double v) { AppendHexDouble(out, v); }
 
 int ResolvedMaxIterations(const SubmitOptions& options) {
   return options.max_iterations > 0 ? options.max_iterations
                                     : options.iama.schedule.NumLevels();
-}
-
-// Stable across platforms and standard-library versions, unlike
-// std::hash<std::string> — shard placement is part of the service's
-// documented behavior (duplicates land on one shard), so it should not
-// shift between toolchains.
-uint64_t Fnv1a64(const std::string& s) {
-  uint64_t h = 1469598103934665603ull;
-  for (const char c : s) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;
-  }
-  return h;
 }
 
 }  // namespace
@@ -137,12 +122,21 @@ struct OptimizerService::RunState {
   // Shard-thread-only state (built lazily on the first turn):
   std::unique_ptr<PlanFactory> factory;
   std::unique_ptr<IamaSession> session;
+  // Per-run adapter between the session's optimizer and the service's
+  // fragment store (null when the store is disabled). Shard-thread-only
+  // except for the final PublishAll, which runs after the run is
+  // destroyed (the provider is moved out first) and outside mu_.
+  std::unique_ptr<FragmentStoreProvider> fragment_provider;
   int steps_done = 0;
   FrontierSnapshot last_snapshot;
   // Published under mu_ at turn boundaries, for follower attach/cancel/
   // expiry results between turns.
   std::shared_ptr<const FrontierSnapshot> last_published;
   int steps_published = 0;
+  // Optimizer work counters mirrored at turn boundaries (under mu_), so
+  // finalization paths never touch the session from other threads.
+  uint64_t plans_published = 0;
+  uint64_t pairs_published = 0;
 };
 
 OptimizerService::OptimizerService(const Catalog& catalog,
@@ -150,6 +144,11 @@ OptimizerService::OptimizerService(const Catalog& catalog,
     : catalog_(catalog), options_(std::move(options)) {
   MOQO_CHECK(options_.num_threads >= 1);
   MOQO_CHECK(options_.num_shards >= 1);
+  if (options_.fragment_cache_bytes > 0) {
+    FragmentStore::Options store_options;
+    store_options.capacity_bytes = options_.fragment_cache_bytes;
+    fragment_store_ = std::make_unique<FragmentStore>(store_options);
+  }
   const std::vector<int> partition =
       PartitionThreads(options_.num_threads, options_.num_shards);
   pools_.resize(partition.size());
@@ -177,7 +176,8 @@ OptimizerService::~OptimizerService() {
     QueryEntry* entry = entries_.begin()->second.get();
     const RunState* run = entry->run;
     FinalizeEntryLocked(entry, QueryState::kCancelled, run->last_published,
-                        run->steps_published);
+                        run->steps_published, run->plans_published,
+                        run->pairs_published);
   }
   runs_.clear();
   inflight_.clear();
@@ -213,6 +213,13 @@ StatusOr<QueryId> OptimizerService::Submit(const Query& query,
     return Status::InvalidArgument(
         "optimizer.num_threads is owned by the service (ServiceOptions"
         "::num_threads); leave it at 1");
+  }
+  if (options.iama.optimizer.fragment_store != nullptr ||
+      options.iama.optimizer.fragment_publish) {
+    return Status::InvalidArgument(
+        "optimizer.fragment_store/fragment_publish are owned by the "
+        "service (ServiceOptions::fragment_cache_bytes); leave them at "
+        "their defaults");
   }
 
   // The canonical key drives shard placement, the completed-run cache,
@@ -307,7 +314,8 @@ bool OptimizerService::Cancel(QueryId id) {
     run->followers.erase(
         std::find(run->followers.begin(), run->followers.end(), id));
     FinalizeEntryLocked(entry, QueryState::kCancelled, run->last_published,
-                        run->steps_published);
+                        run->steps_published, run->plans_published,
+                        run->pairs_published);
   }
   // Leaders are finalized by the shard thread at the next step boundary
   // (possibly handing leadership to the oldest follower).
@@ -361,6 +369,8 @@ QueryResult OptimizerService::Wait(QueryId id) {
       result.iterations = stored.iterations;
       result.from_cache = stored.from_cache;
       result.coalesced = stored.coalesced;
+      result.plans_generated = stored.plans_generated;
+      result.pairs_generated = stored.pairs_generated;
       frontier = stored.frontier;  // Shared; deep copy happens unlocked.
     }  // else: unknown id — result stays default-constructed.
     auto wit = wait_counts_.find(id);
@@ -372,8 +382,22 @@ QueryResult OptimizerService::Wait(QueryId id) {
 }
 
 ServiceStats OptimizerService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ServiceStats out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = stats_;
+  }
+  if (fragment_store_ != nullptr) {
+    // The store keeps its own (internally sharded) counters; merging
+    // outside mu_ keeps the lock orders disjoint.
+    const FragmentStoreStats fs = fragment_store_->Stats();
+    out.fragment_hits = fs.hits;
+    out.fragment_misses = fs.misses;
+    out.fragment_publishes = fs.publishes;
+    out.fragment_evictions = fs.evictions;
+    out.fragment_bytes = fs.bytes;
+  }
+  return out;
 }
 
 int OptimizerService::active_waiters() const {
@@ -421,6 +445,14 @@ void OptimizerService::BuildRun(RunState* run) {
   iama.optimizer.pool = nullptr;   // Rebound to the stepping shard's pool
   iama.optimizer.num_threads = 1;  // each turn; the service owns all
                                    // parallelism.
+  if (fragment_store_ != nullptr) {
+    run->fragment_provider = std::make_unique<FragmentStoreProvider>(
+        fragment_store_.get(), run->query, options_.schema, run->iama,
+        options_.operator_options.enable_interesting_orders,
+        options_.fragment_min_tables);
+    iama.optimizer.fragment_store = run->fragment_provider.get();
+    iama.optimizer.fragment_publish = options_.fragment_publish;
+  }
   run->session = std::make_unique<IamaSession>(*run->factory, iama);
 }
 
@@ -450,12 +482,15 @@ void OptimizerService::RecordResultLocked(StoredResult result) {
 
 void OptimizerService::FinalizeEntryLocked(
     QueryEntry* entry, QueryState state,
-    std::shared_ptr<const FrontierSnapshot> frontier, int iterations) {
+    std::shared_ptr<const FrontierSnapshot> frontier, int iterations,
+    uint64_t plans, uint64_t pairs) {
   StoredResult result;
   result.id = entry->id;
   result.state = state;
   result.iterations = iterations;
   result.coalesced = entry->coalesced;
+  result.plans_generated = plans;
+  result.pairs_generated = pairs;
   result.frontier = frontier != nullptr
                         ? std::move(frontier)
                         : std::make_shared<const FrontierSnapshot>();
@@ -482,7 +517,8 @@ void OptimizerService::SweepExpiredFollowersLocked(RunState* run,
     QueryEntry* f = entries_.at(run->followers[i]).get();
     if (f->has_deadline && now >= f->deadline) {
       FinalizeEntryLocked(f, QueryState::kExpired, run->last_published,
-                          run->steps_published);
+                          run->steps_published, run->plans_published,
+                          run->pairs_published);
       run->followers.erase(run->followers.begin() +
                            static_cast<ptrdiff_t>(i));
     } else {
@@ -522,13 +558,15 @@ void OptimizerService::CompleteRunLocked(RunState* run,
   if (leader->observer && leader->snapshots_seen == 0) {
     deliveries->push_back({run->leader, leader->observer, frontier});
   }
-  FinalizeEntryLocked(leader, QueryState::kDone, frontier, run->steps_done);
+  FinalizeEntryLocked(leader, QueryState::kDone, frontier, run->steps_done,
+                      run->plans_published, run->pairs_published);
   for (QueryId fid : run->followers) {
     QueryEntry* f = entries_.at(fid).get();
     if (f->observer && f->snapshots_seen == 0) {
       deliveries->push_back({fid, f->observer, frontier});
     }
-    FinalizeEntryLocked(f, QueryState::kDone, frontier, run->steps_done);
+    FinalizeEntryLocked(f, QueryState::kDone, frontier, run->steps_done,
+                        run->plans_published, run->pairs_published);
   }
   run->followers.clear();
   DestroyRunLocked(run);
@@ -537,7 +575,8 @@ void OptimizerService::CompleteRunLocked(RunState* run,
 bool OptimizerService::RetireLeaderLocked(RunState* run, QueryState state) {
   QueryEntry* leader = entries_.at(run->leader).get();
   FinalizeEntryLocked(leader, state, run->last_published,
-                      run->steps_published);
+                      run->steps_published, run->plans_published,
+                      run->pairs_published);
   if (run->followers.empty()) {
     DestroyRunLocked(run);
     return false;
@@ -669,6 +708,11 @@ void OptimizerService::SchedulerLoop(size_t shard) {
       // retired leaders, and completion all see this turn's frontier.
       run->steps_published = run->steps_done;
       run->last_published = std::move(published);
+      // Mirror the optimizer's work counters for QueryResult: this
+      // shard owns the session, and the mirror is read only under mu_.
+      const Counters& counters = run->session->optimizer().counters();
+      run->plans_published = counters.plans_generated;
+      run->pairs_published = counters.pairs_generated;
     } else if (pending.has_value() && !run->pending_bounds.has_value()) {
       // A zero-step turn (deadline hit before the first step) must not
       // swallow applied-but-unstepped bounds: restore them so the
@@ -708,6 +752,30 @@ void OptimizerService::SchedulerLoop(size_t shard) {
       if (shard_queues_[run->home_shard].size() > 1) work_cv_.notify_one();
       continue;
     }
+    // Predict whether this turn completes the run in state kDone: either
+    // the leader finished it, or a retiring leader leaves followers on a
+    // run that already ran all its steps (the inner CompleteRunLocked
+    // branch below). Exactly then the run's per-cell frontier logs are
+    // exported for the cross-query fragment store — now, while the
+    // stepping shard still owns the session (CompleteRunLocked destroys
+    // the run). The provider is moved out with the logs; the actual
+    // store insertion (key building, order canonicalization) happens
+    // outside mu_ below. Diverged runs never publish.
+    const bool will_complete_done =
+        end_state == QueryState::kDone ||
+        (!run->followers.empty() &&
+         run->steps_done >= run->max_iterations &&
+         !run->pending_bounds.has_value());
+    std::unique_ptr<FragmentStoreProvider> publish_provider;
+    std::vector<IncrementalOptimizer::PublishableFragment> publish_cells;
+    if (will_complete_done && !run->diverged &&
+        run->fragment_provider != nullptr && run->session != nullptr) {
+      publish_cells =
+          run->session->mutable_optimizer()->TakePublishableFragments();
+      if (!publish_cells.empty()) {
+        publish_provider = std::move(run->fragment_provider);
+      }
+    }
     if (end_state == QueryState::kDone) {
       CompleteRunLocked(run, &deliveries);
     } else if (RetireLeaderLocked(run, end_state)) {
@@ -724,9 +792,12 @@ void OptimizerService::SchedulerLoop(size_t shard) {
         if (shard_queues_[run->home_shard].size() > 1) work_cv_.notify_one();
       }
     }
-    if (!deliveries.empty()) {
+    if (!deliveries.empty() || publish_provider != nullptr) {
       lock.unlock();
       for (const LateDelivery& d : deliveries) d.observer(d.id, *d.frontier);
+      if (publish_provider != nullptr) {
+        publish_provider->PublishAll(std::move(publish_cells));
+      }
       lock.lock();
     }
   }

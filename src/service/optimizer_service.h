@@ -55,6 +55,21 @@
 /// query mid-flight; since the re-bounded result no longer corresponds
 /// to the canonical key, such a run is marked diverged — it stops
 /// accepting new followers and never fills the cache.
+///
+/// **Fragment sharing.** Cache and coalescing only help bit-identical
+/// queries; ServiceOptions::fragment_cache_bytes additionally enables a
+/// cross-query store of *sub-join-graph* Pareto frontiers
+/// (FragmentStore, docs/FRAGMENT_SHARING.md): a completed, non-diverged
+/// run publishes every connected multi-table cell's frontier under a
+/// canonical sub-join-graph key, and a later run whose query overlaps
+/// seeds those cells instead of enumerating them. Seeded runs still
+/// step normally (the anytime snapshot stream is preserved) but skip
+/// the sealed cells' enumeration work — visible in
+/// QueryResult::plans_generated / pairs_generated — and their frontiers
+/// remain bit-identical to cold sequential runs. Diverged (re-bounded)
+/// runs never publish, and a seeded run that diverges automatically
+/// falls back to full enumeration (correct, but no longer bit-identical
+/// to a cold diverged run).
 #ifndef MOQO_SERVICE_OPTIMIZER_SERVICE_H_
 #define MOQO_SERVICE_OPTIMIZER_SERVICE_H_
 
@@ -76,6 +91,7 @@
 #include "core/iama.h"
 #include "plan/cost_model.h"
 #include "query/query.h"
+#include "service/fragment_store.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -110,6 +126,20 @@ struct ServiceOptions {
   /// long-running service — only for tests/tools). Wait() on a dropped
   /// id reports it as unknown.
   size_t result_retention = 1024;
+  /// Byte budget of the cross-query plan-fragment store
+  /// (docs/FRAGMENT_SHARING.md): completed runs publish their per-sub-
+  /// join-graph Pareto frontiers, and later runs whose queries overlap
+  /// seed the shared cells instead of enumerating them. One store is
+  /// shared by all scheduler shards. 0 disables fragment sharing.
+  size_t fragment_cache_bytes = 0;
+  /// Whether completed, non-diverged runs publish their cells back to
+  /// the fragment store. Disable to run the store read-only (e.g. a
+  /// pre-warmed benchmark). No effect while the store is disabled.
+  bool fragment_publish = true;
+  /// Smallest sub-join-graph (in tables) stored or seeded; clamped to
+  /// >= 2. Larger values trade hit opportunities for fewer, bigger
+  /// fragments.
+  int fragment_min_tables = 2;
   /// Metric schema shared by all queries of this service. (A service-
   /// wide constant, so it does not participate in the per-query cache
   /// key.)
@@ -167,6 +197,15 @@ struct QueryResult {
   /// follower, or was promoted to leader after attaching as one) and so
   /// triggered no optimization of its own.
   bool coalesced = false;
+  /// Optimizer work performed by the run that served this query, as of
+  /// the run's latest turn boundary: join plans constructed
+  /// (Counters::plans_generated) and fresh sub-plan pairs combined
+  /// (Counters::pairs_generated). 0 for cache hits — no optimization
+  /// ran. With fragment sharing enabled these are the counters a warm
+  /// store visibly reduces on overlapping queries.
+  uint64_t plans_generated = 0;
+  /// See plans_generated.
+  uint64_t pairs_generated = 0;
   /// The run's last *published* snapshot: the final frontier for kDone;
   /// for queries finalized between a run's turns (cancelled or expired
   /// followers, cancelled leaders of dead runs) the frontier from the
@@ -187,6 +226,13 @@ struct ServiceStats {
   uint64_t coalesced = 0;       ///< Submits attached to an in-flight run.
   uint64_t steps_executed = 0;  ///< Optimizer steps across all runs.
   uint64_t work_steals = 0;     ///< Runs a shard stole from another queue.
+  // Cross-query fragment store counters (zero while the store is
+  // disabled); mirrored from FragmentStoreStats.
+  uint64_t fragment_hits = 0;       ///< Cells seeded from the store.
+  uint64_t fragment_misses = 0;     ///< Cell lookups that found nothing.
+  uint64_t fragment_publishes = 0;  ///< Cells published by completed runs.
+  uint64_t fragment_evictions = 0;  ///< Cells evicted by the byte budget.
+  uint64_t fragment_bytes = 0;      ///< Resident fragment bytes (gauge).
 };
 
 /// Cache/placement key for a submission: canonicalized join graph
@@ -284,6 +330,11 @@ class OptimizerService {
   int threads() const { return options_.num_threads; }
   /// Number of scheduler shards (ServiceOptions::num_shards).
   int shards() const { return options_.num_shards; }
+  /// The cross-query fragment store shared by all shards, or nullptr
+  /// when disabled (ServiceOptions::fragment_cache_bytes == 0). Thread-
+  /// safe; exposed for diagnostics and for epoch bumps on catalog
+  /// refresh (FragmentStore::BumpEpoch).
+  FragmentStore* fragment_store() const { return fragment_store_.get(); }
   /// Threads currently blocked inside Wait() (diagnostics; also lets
   /// tests establish that a waiter is registered before racing it).
   int active_waiters() const;
@@ -305,6 +356,8 @@ class OptimizerService {
     int iterations = 0;
     bool from_cache = false;
     bool coalesced = false;
+    uint64_t plans_generated = 0;
+    uint64_t pairs_generated = 0;
     std::shared_ptr<const FrontierSnapshot> frontier;
   };
 
@@ -328,10 +381,11 @@ class OptimizerService {
   // result_retention, and wakes waiters. Requires mu_ held.
   void RecordResultLocked(StoredResult result);
   // Records `entry`'s terminal result (bumping the matching stats
-  // counter) and erases the entry. Requires mu_ held.
+  // counter) and erases the entry. `plans`/`pairs` are the run's work
+  // counters as of its latest turn boundary. Requires mu_ held.
   void FinalizeEntryLocked(QueryEntry* entry, QueryState state,
                            std::shared_ptr<const FrontierSnapshot> frontier,
-                           int iterations);
+                           int iterations, uint64_t plans, uint64_t pairs);
   // Finalizes every follower whose own deadline has passed. Requires
   // mu_ held.
   void SweepExpiredFollowersLocked(RunState* run,
@@ -356,6 +410,9 @@ class OptimizerService {
   // stepping shard rebinds the run's session to its own pool, so each
   // pool has exactly one ParallelFor caller at any time.
   std::vector<std::unique_ptr<ThreadPool>> pools_;
+  // One cross-query fragment store for all shards (internally sharded;
+  // thread-safe); null when fragment_cache_bytes == 0.
+  std::unique_ptr<FragmentStore> fragment_store_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // Shards sleep when no queue has work.

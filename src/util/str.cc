@@ -21,6 +21,21 @@ std::string StrFormat(const char* fmt, ...) {
   return out;
 }
 
+uint64_t Fnv1a64(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void AppendHexDouble(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  *out += buf;
+}
+
 std::string StrJoin(const std::vector<std::string>& parts,
                     const std::string& sep) {
   std::string out;

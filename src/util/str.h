@@ -2,6 +2,7 @@
 #ifndef MOQO_UTIL_STR_H_
 #define MOQO_UTIL_STR_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,18 @@ std::string StrFormat(const char* fmt, ...)
 // Joins `parts` with `sep` between consecutive elements.
 std::string StrJoin(const std::vector<std::string>& parts,
                     const std::string& sep);
+
+// Appends the exact hexfloat rendering ("%a") of `v` to `out`. Used for
+// canonical cache/fragment keys: two doubles get the same rendering iff
+// they are bit-identical, so keys distinguish any two selectivities or
+// bounds that could produce different cost vectors.
+void AppendHexDouble(std::string* out, double v);
+
+// FNV-1a over the bytes of `s`. Stable across platforms and standard-
+// library versions, unlike std::hash<std::string> — scheduler-shard
+// placement and fragment-store lock-shard placement both key on it, and
+// documented placement behavior should not shift between toolchains.
+uint64_t Fnv1a64(const std::string& s);
 
 }  // namespace moqo
 
