@@ -5,7 +5,7 @@
 // Usage:
 //   ./build/workload_server [--threads N] [--shards N] [--random N]
 //                           [--repeat N] [--deadline-ms D]
-//                           [--fragment-cache-mb M]
+//                           [--fragment-cache-mb M] [--refresh-drift F]
 //
 //   --threads N      total worker budget across all shards (default 4)
 //   --shards N       scheduler shards, each with its own run queue and
@@ -25,11 +25,18 @@
 //                    Overlapping queries seed shared sub-join-graph
 //                    frontiers from completed runs instead of
 //                    re-deriving them (docs/FRAGMENT_SHARING.md)
+//   --refresh-drift F  the `refresh` command, exercised between replay
+//                    rounds: scale every TPC-H base table's cardinality
+//                    by F (statistics drift), then call
+//                    OptimizerService::RefreshCatalog(). Post-refresh
+//                    rounds provably re-optimize — no cache hits, no
+//                    old-epoch fragment hits — on the new statistics
+//                    (docs/CATALOG_REFRESH.md). 0 disables (default)
 //
 // Prints one line per finished query (state, iterations, frontier size,
 // time to first frontier) and a summary with queries/sec, p50/p99
-// time-to-first-frontier, cache hits, and fragment-store hit/miss/
-// publish/evict counters.
+// time-to-first-frontier, cache hits, catalog refreshes, and
+// fragment-store hit/miss/publish/evict counters.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -103,6 +110,7 @@ int main(int argc, char** argv) {
   int repeat = 2;
   double deadline_ms = 0.0;
   int fragment_cache_mb = 16;
+  double refresh_drift = 0.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_next = i + 1 < argc;
@@ -118,16 +126,18 @@ int main(int argc, char** argv) {
       deadline_ms = std::atof(argv[++i]);
     } else if (arg == "--fragment-cache-mb" && has_next) {
       fragment_cache_mb = std::atoi(argv[++i]);
+    } else if (arg == "--refresh-drift" && has_next) {
+      refresh_drift = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: workload_server [--threads N] [--shards N] "
                    "[--random N] [--repeat N] [--deadline-ms D] "
-                   "[--fragment-cache-mb M]\n");
+                   "[--fragment-cache-mb M] [--refresh-drift F]\n");
       return 1;
     }
   }
   if (threads < 1 || shards < 1 || num_random < 0 || repeat < 1 ||
-      deadline_ms < 0.0 || fragment_cache_mb < 0) {
+      deadline_ms < 0.0 || fragment_cache_mb < 0 || refresh_drift < 0.0) {
     std::fprintf(stderr, "invalid flag value\n");
     return 1;
   }
@@ -222,6 +232,25 @@ int main(int argc, char** argv) {
                   result.from_cache ? "yes" : "no",
                   result.coalesced ? "yes" : "no");
     }
+    // The `refresh` command: drift the base statistics, then tell the
+    // service. The next round optimizes on the new cardinalities — its
+    // repeats provably miss the old cache/fragment generations.
+    if (refresh_drift > 0.0 && round + 1 < repeat) {
+      const TableId num_tpch_tables = static_cast<TableId>(kLineitem) + 1;
+      for (TableId id = 0; id < num_tpch_tables; ++id) {
+        const double new_cardinality =
+            std::max(1.0, catalog.Get(id).cardinality * refresh_drift);
+        const Status updated = catalog.UpdateStats(id, new_cardinality);
+        if (!updated.ok()) {
+          std::fprintf(stderr, "refresh: %s\n", updated.ToString().c_str());
+          return 1;
+        }
+      }
+      const uint64_t version = service.RefreshCatalog();
+      std::printf("-- refresh: TPC-H cardinalities x%.2f, catalog "
+                  "version %llu (cache dropped, fragment epoch bumped)\n",
+                  refresh_drift, static_cast<unsigned long long>(version));
+    }
   }
   const double wall_s = MillisSince(wall_start) / 1000.0;
 
@@ -234,13 +263,14 @@ int main(int argc, char** argv) {
               ttffs.size(), Percentile(ttffs, 0.50),
               Percentile(ttffs, 0.99));
   std::printf("steps %llu, completed %llu, expired %llu, cache hits %llu, "
-              "coalesced %llu, work steals %llu\n",
+              "coalesced %llu, work steals %llu, catalog refreshes %llu\n",
               static_cast<unsigned long long>(stats.steps_executed),
               static_cast<unsigned long long>(stats.completed),
               static_cast<unsigned long long>(stats.expired),
               static_cast<unsigned long long>(stats.cache_hits),
               static_cast<unsigned long long>(stats.coalesced),
-              static_cast<unsigned long long>(stats.work_steals));
+              static_cast<unsigned long long>(stats.work_steals),
+              static_cast<unsigned long long>(stats.catalog_refreshes));
   const uint64_t fragment_lookups =
       stats.fragment_hits + stats.fragment_misses;
   if (fragment_cache_mb == 0) {

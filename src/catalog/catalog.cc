@@ -1,25 +1,166 @@
 #include "catalog/catalog.h"
 
+#include <utility>
+
 #include "util/common.h"
 
 namespace moqo {
+namespace {
+
+StatusOr<TableId> FindByNameIn(const std::vector<TableDef>& tables,
+                               const std::string& name) {
+  if (tables.empty()) {
+    return Status::NotFound("catalog is empty; no table named '" + name +
+                            "'");
+  }
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (tables[i].name == name) return static_cast<TableId>(i);
+  }
+  return Status::NotFound("no table named '" + name + "'");
+}
+
+}  // namespace
+
+const TableDef& CatalogSnapshot::Get(TableId id) const {
+  MOQO_CHECK_MSG(id >= 0 && id < NumTables(),
+                 "table id out of range for catalog snapshot");
+  return tables_[static_cast<size_t>(id)];
+}
+
+StatusOr<TableId> CatalogSnapshot::FindByName(const std::string& name) const {
+  return FindByNameIn(tables_, name);
+}
+
+Catalog::Catalog(const Catalog& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  tables_ = other.tables_;
+  version_ = other.version_;
+  cached_ = other.cached_;  // Immutable: sharing the snapshot is safe.
+}
+
+Catalog& Catalog::operator=(const Catalog& other) {
+  if (this == &other) return *this;
+  // Copy under other's lock first so the two locks are never held at
+  // once (no ordering between distinct Catalog instances).
+  std::vector<TableDef> tables;
+  uint64_t version;
+  std::shared_ptr<const CatalogSnapshot> cached;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    tables = other.tables_;
+    version = other.version_;
+    cached = other.cached_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_ = std::move(tables);
+  version_ = version;
+  cached_ = std::move(cached);
+  return *this;
+}
+
+Catalog::Catalog(Catalog&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  tables_ = std::move(other.tables_);
+  version_ = other.version_;
+  cached_ = std::move(other.cached_);
+  other.tables_.clear();
+  other.version_ = 0;
+  other.cached_.reset();
+}
+
+Catalog& Catalog::operator=(Catalog&& other) noexcept {
+  if (this == &other) return *this;
+  std::vector<TableDef> tables;
+  uint64_t version;
+  std::shared_ptr<const CatalogSnapshot> cached;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    tables = std::move(other.tables_);
+    version = other.version_;
+    cached = std::move(other.cached_);
+    other.tables_.clear();
+    other.version_ = 0;
+    other.cached_.reset();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_ = std::move(tables);
+  version_ = version;
+  cached_ = std::move(cached);
+  return *this;
+}
 
 TableId Catalog::AddTable(TableDef def) {
   MOQO_CHECK_MSG(def.cardinality >= 1.0, "table cardinality must be >= 1");
+  std::lock_guard<std::mutex> lock(mu_);
   tables_.push_back(std::move(def));
+  ++version_;
+  cached_.reset();
   return static_cast<TableId>(tables_.size() - 1);
 }
 
-const TableDef& Catalog::Get(TableId id) const {
-  MOQO_CHECK(id >= 0 && id < NumTables());
+Status Catalog::UpdateStats(TableId id, double cardinality,
+                            std::optional<double> row_bytes) {
+  if (!(cardinality >= 1.0)) {
+    return Status::InvalidArgument("table cardinality must be >= 1");
+  }
+  if (row_bytes.has_value() && !(*row_bytes > 0.0)) {
+    return Status::InvalidArgument("row_bytes must be > 0");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<TableId>(tables_.size())) {
+    return Status::NotFound("no table with id " + std::to_string(id));
+  }
+  TableDef& table = tables_[static_cast<size_t>(id)];
+  table.cardinality = cardinality;
+  if (row_bytes.has_value()) table.row_bytes = *row_bytes;
+  ++version_;
+  cached_.reset();
+  return Status::OK();
+}
+
+Status Catalog::ReplaceTable(TableId id, TableDef def) {
+  if (!(def.cardinality >= 1.0)) {
+    return Status::InvalidArgument("table cardinality must be >= 1");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<TableId>(tables_.size())) {
+    return Status::NotFound("no table with id " + std::to_string(id));
+  }
+  tables_[static_cast<size_t>(id)] = std::move(def);
+  ++version_;
+  cached_.reset();
+  return Status::OK();
+}
+
+int Catalog::NumTables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(tables_.size());
+}
+
+TableDef Catalog::Get(TableId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MOQO_CHECK_MSG(id >= 0 && id < static_cast<TableId>(tables_.size()),
+                 "table id out of range for catalog");
   return tables_[static_cast<size_t>(id)];
 }
 
 StatusOr<TableId> Catalog::FindByName(const std::string& name) const {
-  for (int i = 0; i < NumTables(); ++i) {
-    if (tables_[static_cast<size_t>(i)].name == name) return i;
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindByNameIn(tables_, name);
+}
+
+std::shared_ptr<const CatalogSnapshot> Catalog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cached_ == nullptr) {
+    cached_ = std::shared_ptr<const CatalogSnapshot>(
+        new CatalogSnapshot(version_, tables_));
   }
-  return Status::NotFound("no table named '" + name + "'");
+  return cached_;
+}
+
+uint64_t Catalog::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
 }
 
 }  // namespace moqo

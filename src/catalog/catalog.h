@@ -1,12 +1,29 @@
-// Catalog: table definitions and base statistics.
-//
-// Replaces the Postgres catalog the paper's implementation sat on: the
-// optimizer only needs per-table cardinality, width, page count, and index
-// availability, plus join selectivities (which live on the query's join
-// graph, see src/query/join_graph.h).
+/// \file
+/// Catalog: table definitions and base statistics, with live refresh.
+///
+/// Replaces the Postgres catalog the paper's implementation sat on: the
+/// optimizer only needs per-table cardinality, width, page count, and
+/// index availability, plus join selectivities (which live on the
+/// query's join graph, see src/query/join_graph.h).
+///
+/// **Versioning.** Statistics drift in a long-running service, so the
+/// catalog is mutable and *versioned*: every mutation (AddTable,
+/// UpdateStats, ReplaceTable) advances a monotonic version, and
+/// Snapshot() returns an immutable, refcounted CatalogSnapshot of the
+/// current state. Concurrent readers (the optimizer, the serving layer)
+/// pin a snapshot and never observe later mutations — the same
+/// copy-on-read pattern the fragment store uses for its frontiers.
+/// Direct reads (Get, FindByName) are served from the working copy and
+/// are only safe while no thread mutates concurrently; anything that
+/// outlives a mutation must hold a snapshot instead
+/// (docs/CATALOG_REFRESH.md describes the full refresh protocol).
 #ifndef MOQO_CATALOG_CATALOG_H_
 #define MOQO_CATALOG_CATALOG_H_
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -14,18 +31,23 @@
 
 namespace moqo {
 
+/// Index of a table in the catalog (and in every CatalogSnapshot taken
+/// from it — ids are stable across UpdateStats/ReplaceTable).
 using TableId = int;
 
+/// One table's definition and base statistics.
 struct TableDef {
+  /// Table name, unique within a well-formed catalog (FindByName returns
+  /// the first match).
   std::string name;
-  // Number of rows in the base table.
+  /// Number of rows in the base table; must be >= 1.
   double cardinality = 0.0;
-  // Average row width in bytes; determines page count.
+  /// Average row width in bytes; determines page count.
   double row_bytes = 100.0;
-  // Whether an index is available (enables index scans).
+  /// Whether an index is available (enables index scans).
   bool has_index = true;
 
-  // Number of disk pages, assuming 8 KiB pages.
+  /// Number of disk pages, assuming 8 KiB pages (clamped at one page).
   double Pages() const {
     const double kPageBytes = 8192.0;
     const double pages = cardinality * row_bytes / kPageBytes;
@@ -33,20 +55,105 @@ struct TableDef {
   }
 };
 
-// An append-only collection of table definitions.
-class Catalog {
+/// An immutable view of the catalog at one version. Snapshots are
+/// refcounted and never mutated after creation: a run that pins one at
+/// admission sees exactly the statistics it was admitted under, no
+/// matter what the live catalog does afterwards. Thread-safe (it is
+/// read-only).
+class CatalogSnapshot {
  public:
-  // Returns the id of the newly added table.
-  TableId AddTable(TableDef def);
-
+  /// Number of tables in this snapshot.
   int NumTables() const { return static_cast<int>(tables_.size()); }
+
+  /// Returns table `id`'s definition. `id` must be in
+  /// [0, NumTables()) — out-of-range ids abort (MOQO_CHECK), they are
+  /// a caller logic error, not user input.
   const TableDef& Get(TableId id) const;
 
-  // Looks up a table by name.
+  /// Looks up a table by name; NotFound when no table matches (or the
+  /// snapshot is empty).
   StatusOr<TableId> FindByName(const std::string& name) const;
 
+  /// The catalog version this snapshot was taken at. Versions are
+  /// monotonic per Catalog: a snapshot with a larger version reflects
+  /// strictly later mutations.
+  uint64_t version() const { return version_; }
+
  private:
+  friend class Catalog;
+  CatalogSnapshot(uint64_t version, std::vector<TableDef> tables)
+      : version_(version), tables_(std::move(tables)) {}
+
+  uint64_t version_ = 0;
   std::vector<TableDef> tables_;
+};
+
+/// The mutable, versioned collection of table definitions. All methods
+/// are thread-safe with respect to each other; Get() returns a copy,
+/// so even its result is race-free against concurrent mutation.
+/// Readers that need a *consistent multi-table* view concurrent with
+/// mutations still pin a Snapshot().
+class Catalog {
+ public:
+  /// An empty catalog at version 0.
+  Catalog() = default;
+  /// Copies `other`'s current state (tables and version).
+  Catalog(const Catalog& other);
+  /// Replaces this catalog's state with a copy of `other`'s.
+  Catalog& operator=(const Catalog& other);
+  /// Moves `other`'s state; `other` is left empty at version 0.
+  Catalog(Catalog&& other) noexcept;
+  /// Move-assigns `other`'s state; `other` is left empty at version 0.
+  Catalog& operator=(Catalog&& other) noexcept;
+
+  /// Appends a table and returns its id. `def.cardinality` must be
+  /// >= 1 (builder API — violations abort). Advances the version.
+  TableId AddTable(TableDef def);
+
+  /// Updates table `id`'s statistics in place: `cardinality` must be
+  /// >= 1; `row_bytes`, when given, must be > 0 (the old width is kept
+  /// otherwise). Returns NotFound for an out-of-range id and
+  /// InvalidArgument for bad values; on success advances the version.
+  Status UpdateStats(TableId id, double cardinality,
+                     std::optional<double> row_bytes = std::nullopt);
+
+  /// Replaces table `id`'s whole definition (name, statistics, index
+  /// availability) while keeping its id. Returns NotFound for an
+  /// out-of-range id and InvalidArgument when `def.cardinality` < 1;
+  /// on success advances the version.
+  Status ReplaceTable(TableId id, TableDef def);
+
+  /// Number of tables currently in the catalog.
+  int NumTables() const;
+
+  /// Returns a copy of table `id`'s definition (by value: a reference
+  /// into the working vector would race concurrent in-place mutation
+  /// the moment the internal lock dropped). `id` must be in
+  /// [0, NumTables()) — out-of-range ids abort (MOQO_CHECK). Hot paths
+  /// read through a pinned Snapshot() instead, whose Get() returns a
+  /// reference into immutable storage.
+  TableDef Get(TableId id) const;
+
+  /// Looks up a table by name; NotFound when no table matches (or the
+  /// catalog is empty).
+  StatusOr<TableId> FindByName(const std::string& name) const;
+
+  /// Returns an immutable snapshot of the current state. Cheap when the
+  /// catalog has not mutated since the last call (the snapshot is
+  /// cached and shared); a mutation invalidates the cache and the next
+  /// call copies the table vector once.
+  std::shared_ptr<const CatalogSnapshot> Snapshot() const;
+
+  /// The current version: 0 for an empty catalog, advanced by every
+  /// mutation.
+  uint64_t version() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TableDef> tables_;  // Working copy; mutated in place.
+  uint64_t version_ = 0;
+  // Cached snapshot of (version_, tables_); reset by every mutation.
+  mutable std::shared_ptr<const CatalogSnapshot> cached_;
 };
 
 }  // namespace moqo

@@ -6,6 +6,17 @@
 #include "util/common.h"
 
 namespace moqo {
+namespace {
+
+// Null-checks the pinned snapshot before the member-init list
+// dereferences it (JoinGraph is constructed before the factory body).
+const CatalogSnapshot& DerefCatalog(
+    const std::shared_ptr<const CatalogSnapshot>& catalog) {
+  MOQO_CHECK_MSG(catalog != nullptr, "PlanFactory needs a catalog snapshot");
+  return *catalog;
+}
+
+}  // namespace
 
 CostModel::CostModel(MetricSchema schema, CostModelParams params)
     : schema_(std::move(schema)), params_(params) {}
@@ -170,9 +181,16 @@ OpCost CostModel::JoinCost(const PlanNode& left, const PlanNode& right,
 PlanFactory::PlanFactory(const Query& query, const Catalog& catalog,
                          MetricSchema schema, CostModelParams cost_params,
                          OperatorOptions op_options)
+    : PlanFactory(query, catalog.Snapshot(), std::move(schema), cost_params,
+                  op_options) {}
+
+PlanFactory::PlanFactory(const Query& query,
+                         std::shared_ptr<const CatalogSnapshot> catalog,
+                         MetricSchema schema, CostModelParams cost_params,
+                         OperatorOptions op_options)
     : query_(query),
-      catalog_(catalog),
-      graph_(query, catalog),
+      catalog_(std::move(catalog)),
+      graph_(query, DerefCatalog(catalog_)),
       cost_model_(std::move(schema), cost_params),
       op_options_(op_options) {
   scan_alternatives_.reserve(query_.tables.size());
@@ -180,7 +198,7 @@ PlanFactory::PlanFactory(const Query& query, const Catalog& catalog,
   for (int t = 0; t < query_.NumTables(); ++t) {
     const TableRef& ref = query_.tables[static_cast<size_t>(t)];
     scan_alternatives_.push_back(
-        ScanAlternatives(catalog_.Get(ref.table), op_options_));
+        ScanAlternatives(catalog_->Get(ref.table), op_options_));
     int order = 0;
     if (op_options_.enable_interesting_orders) {
       order = 1 + graph_.FirstPredicateIncident(t);

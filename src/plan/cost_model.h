@@ -98,9 +98,22 @@ class CostModel {
 // which scan / join alternatives exist and what they cost. All optimizers
 // (IAMA and the baselines) enumerate through this single class, so they
 // search exactly the same space.
+//
+// The factory pins an immutable CatalogSnapshot at construction: later
+// catalog mutations (statistics refresh) never change the costs this
+// factory produces, so a session keeps optimizing against one
+// consistent set of statistics for its whole lifetime
+// (docs/CATALOG_REFRESH.md).
 class PlanFactory {
  public:
+  // Pins catalog.Snapshot() — the state at construction time.
   PlanFactory(const Query& query, const Catalog& catalog,
+              MetricSchema schema, CostModelParams cost_params = {},
+              OperatorOptions op_options = {});
+  // Pins an explicit snapshot (the serving layer passes the one pinned
+  // at query admission). `catalog` must be non-null.
+  PlanFactory(const Query& query,
+              std::shared_ptr<const CatalogSnapshot> catalog,
               MetricSchema schema, CostModelParams cost_params = {},
               OperatorOptions op_options = {});
 
@@ -120,11 +133,14 @@ class PlanFactory {
     return op_options_.enable_interesting_orders;
   }
 
+  // The catalog snapshot this factory costs plans against.
+  const CatalogSnapshot& catalog() const { return *catalog_; }
+
   // Invokes fn(op, op_cost) for every scan alternative of table ref `t`.
   template <typename F>
   void ForEachScan(int t, F&& fn) const {
     const TableRef& ref = query_.tables[static_cast<size_t>(t)];
-    const TableDef& table = catalog_.Get(ref.table);
+    const TableDef& table = catalog_->Get(ref.table);
     const int index_order = scan_order_[static_cast<size_t>(t)];
     for (const OperatorDesc& op : scan_alternatives_[static_cast<size_t>(t)]) {
       fn(op, cost_model_.ScanCost(table, ref.predicate_selectivity, op,
@@ -155,7 +171,9 @@ class PlanFactory {
 
  private:
   Query query_;
-  const Catalog& catalog_;
+  // Pinned at construction; immutable and refcounted, so the factory
+  // (and every session built on it) is immune to live catalog mutation.
+  std::shared_ptr<const CatalogSnapshot> catalog_;
   JoinGraph graph_;
   CostModel cost_model_;
   OperatorOptions op_options_;

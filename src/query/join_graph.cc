@@ -5,6 +5,9 @@
 namespace moqo {
 
 JoinGraph::JoinGraph(const Query& query, const Catalog& catalog)
+    : JoinGraph(query, *catalog.Snapshot()) {}
+
+JoinGraph::JoinGraph(const Query& query, const CatalogSnapshot& catalog)
     : num_tables_(query.NumTables()), joins_(query.joins) {
   base_card_.reserve(static_cast<size_t>(num_tables_));
   neighbors_.assign(static_cast<size_t>(num_tables_), TableSet());

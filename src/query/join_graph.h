@@ -18,7 +18,11 @@ namespace moqo {
 
 class JoinGraph {
  public:
+  // Reads the current catalog state once, at construction.
   JoinGraph(const Query& query, const Catalog& catalog);
+  // Same, against a pinned immutable snapshot (the serving layer's
+  // refresh-safe path; see docs/CATALOG_REFRESH.md).
+  JoinGraph(const Query& query, const CatalogSnapshot& catalog);
 
   int NumTables() const { return num_tables_; }
 

@@ -28,7 +28,11 @@ QueryBuilder& QueryBuilder::AddFkJoin(const Catalog& catalog, int fk_ref,
   return AddJoin(fk_ref, pk_ref, 1.0 / pk_card);
 }
 
-Status ValidateQuery(const Query& query, const Catalog& catalog) {
+namespace {
+
+// Shared by both ValidateQuery overloads; `num_tables` is the catalog's
+// (or snapshot's) table count.
+Status ValidateQueryAgainst(const Query& query, int num_tables) {
   const int n = query.NumTables();
   if (n < 1) return Status::InvalidArgument("query has no tables");
   if (n > kMaxTables) {
@@ -36,7 +40,7 @@ Status ValidateQuery(const Query& query, const Catalog& catalog) {
         StrFormat("query has %d tables, max is %d", n, kMaxTables));
   }
   for (const TableRef& ref : query.tables) {
-    if (ref.table < 0 || ref.table >= catalog.NumTables()) {
+    if (ref.table < 0 || ref.table >= num_tables) {
       return Status::InvalidArgument("table reference out of range");
     }
     if (!(ref.predicate_selectivity > 0.0 &&
@@ -54,6 +58,16 @@ Status ValidateQuery(const Query& query, const Catalog& catalog) {
     }
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateQuery(const Query& query, const Catalog& catalog) {
+  return ValidateQueryAgainst(query, catalog.NumTables());
+}
+
+Status ValidateQuery(const Query& query, const CatalogSnapshot& catalog) {
+  return ValidateQueryAgainst(query, catalog.NumTables());
 }
 
 }  // namespace moqo

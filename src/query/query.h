@@ -71,6 +71,10 @@ class QueryBuilder {
 // join graph references valid, table count within kMaxTables.
 Status ValidateQuery(const Query& query, const Catalog& catalog);
 
+// Same, against a pinned catalog snapshot (the serving layer validates
+// each submission against the snapshot the run will optimize on).
+Status ValidateQuery(const Query& query, const CatalogSnapshot& catalog);
+
 }  // namespace moqo
 
 #endif  // MOQO_QUERY_QUERY_H_

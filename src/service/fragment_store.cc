@@ -320,17 +320,26 @@ void FragmentQueryBinding::OrdersToLocal(TableSet cell,
 
 // --- FragmentStoreProvider --------------------------------------------------
 
-FragmentStoreProvider::FragmentStoreProvider(FragmentStore* store,
-                                             const Query& query,
-                                             const MetricSchema& schema,
-                                             const IamaOptions& iama,
-                                             bool orders_enabled,
-                                             int min_tables)
-    : store_(store),
-      binding_(query, schema, iama, orders_enabled, store->epoch()),
-      min_tables_(std::max(2, min_tables)) {
+namespace {
+
+// Null-checks `store` before the member-init list touches it (the
+// default-epoch path reads store->epoch() before the ctor body runs).
+uint64_t ResolveEpoch(FragmentStore* store,
+                      std::optional<uint64_t> pinned_epoch) {
   MOQO_CHECK(store != nullptr);
+  return pinned_epoch.has_value() ? *pinned_epoch : store->epoch();
 }
+
+}  // namespace
+
+FragmentStoreProvider::FragmentStoreProvider(
+    FragmentStore* store, const Query& query, const MetricSchema& schema,
+    const IamaOptions& iama, bool orders_enabled, int min_tables,
+    std::optional<uint64_t> pinned_epoch)
+    : store_(store),
+      binding_(query, schema, iama, orders_enabled,
+               ResolveEpoch(store, pinned_epoch)),
+      min_tables_(std::max(2, min_tables)) {}
 
 std::optional<FragmentSeed> FragmentStoreProvider::Lookup(
     TableSet cell, int needed_resolution) {

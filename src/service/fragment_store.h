@@ -218,9 +218,15 @@ class FragmentStoreProvider : public FragmentProvider {
   /// Binds `store` (which must outlive the provider) to one run's query
   /// and options. Cells with fewer than `min_tables` tables are ignored
   /// in both directions; `min_tables` is clamped to >= 2.
+  /// `pinned_epoch` fixes the store epoch the binding keys under —
+  /// serving layers pass the epoch observed at query *admission*, so a
+  /// catalog refresh between admission and the run's first step cannot
+  /// cross catalog generations (the run neither reads nor writes
+  /// post-refresh fragments). Defaults to the store's current epoch.
   FragmentStoreProvider(FragmentStore* store, const Query& query,
                         const MetricSchema& schema, const IamaOptions& iama,
-                        bool orders_enabled, int min_tables);
+                        bool orders_enabled, int min_tables,
+                        std::optional<uint64_t> pinned_epoch = std::nullopt);
 
   /// FragmentProvider hook: store lookup + order-tag localization.
   std::optional<FragmentSeed> Lookup(TableSet cell,

@@ -21,11 +21,13 @@ int ResolvedMaxIterations(const SubmitOptions& options) {
                                     : options.iama.schedule.NumLevels();
 }
 
-}  // namespace
-
-std::string CanonicalQueryKey(const Query& query, const MetricSchema& schema,
-                              const SubmitOptions& options) {
-  std::string key = "v1;t=";
+// The catalog-version-independent tail of CanonicalQueryKey. Split out
+// so Submit can do the O(query) string construction outside the
+// admission lock and only prepend the version prefix under it.
+std::string CanonicalQueryKeySuffix(const Query& query,
+                                    const MetricSchema& schema,
+                                    const SubmitOptions& options) {
+  std::string key = "t=";
   for (const TableRef& t : query.tables) {  // Aliases are display-only.
     key += std::to_string(t.table);
     key += ':';
@@ -81,6 +83,29 @@ std::string CanonicalQueryKey(const Query& query, const MetricSchema& schema,
   return key;
 }
 
+// Joins a version prefix to a precomputed suffix. The catalog version
+// leads the key: frontiers depend on the base statistics, so
+// submissions from different catalog generations must never share a
+// cache line, a shard-placement bucket, or an in-flight leader
+// (ROADMAP's missing-epoch gap).
+std::string VersionedKey(uint64_t catalog_version,
+                         const std::string& suffix) {
+  std::string key = "v2;c=";
+  key += std::to_string(catalog_version);
+  key += ';';
+  key += suffix;
+  return key;
+}
+
+}  // namespace
+
+std::string CanonicalQueryKey(const Query& query, const MetricSchema& schema,
+                              const SubmitOptions& options,
+                              uint64_t catalog_version) {
+  return VersionedKey(catalog_version,
+                      CanonicalQueryKeySuffix(query, schema, options));
+}
+
 // One submitted query: its observer, scheduling parameters, and the run
 // it is attached to (its own for a leader; a shared one for a follower).
 struct OptimizerService::QueryEntry {
@@ -113,11 +138,27 @@ struct OptimizerService::RunState {
   IamaOptions iama;  // From the founding submission (key-equal for all).
   int max_iterations = 0;
   size_t home_shard = 0;
+  // The catalog snapshot pinned at admission: the run optimizes on it
+  // for its whole lifetime, immune to live catalog mutation. Immutable,
+  // so reading it needs no lock once set.
+  std::shared_ptr<const CatalogSnapshot> catalog;
+  uint64_t catalog_version = 0;  // == catalog->version(), for results.
+  // Fragment-store epoch observed at admission (in the same mu_
+  // critical section that a RefreshCatalog would use to mark this run
+  // stale): the run's fragment keys are built against this epoch, so a
+  // refresh between admission and the first turn cannot make the run
+  // read or write fragments of the new catalog generation.
+  uint64_t fragment_epoch = 0;
   QueryId leader = kInvalidQueryId;
   std::vector<QueryId> followers;  // Attach order; promotion order.
   // ApplyBounds happened: the result no longer matches `key`, so no new
   // followers attach and the cache is not filled on completion.
   bool diverged = false;
+  // RefreshCatalog happened after this run's admission: the run
+  // finishes on its pinned snapshot, but — mirroring `diverged` — it
+  // accepts no new followers and never publishes to the whole-query
+  // cache or the fragment store (its results describe dead statistics).
+  bool stale = false;
   std::optional<CostVector> pending_bounds;
   // Shard-thread-only state (built lazily on the first turn):
   std::unique_ptr<PlanFactory> factory;
@@ -141,7 +182,9 @@ struct OptimizerService::RunState {
 
 OptimizerService::OptimizerService(const Catalog& catalog,
                                    ServiceOptions options)
-    : catalog_(catalog), options_(std::move(options)) {
+    : catalog_(catalog),
+      options_(std::move(options)),
+      catalog_snapshot_(catalog.Snapshot()) {
   MOQO_CHECK(options_.num_threads >= 1);
   MOQO_CHECK(options_.num_shards >= 1);
   if (options_.fragment_cache_bytes > 0) {
@@ -189,8 +232,9 @@ OptimizerService::~OptimizerService() {
 StatusOr<QueryId> OptimizerService::Submit(const Query& query,
                                            SubmitOptions options,
                                            SnapshotObserver observer) {
-  // All user input is validated here (Status, not CHECK).
-  MOQO_RETURN_IF_ERROR(ValidateQuery(query, catalog_));
+  // All user input is validated here (Status, not CHECK). The query
+  // itself is validated under mu_ against the pinned admission snapshot
+  // (the statistics the run will actually optimize on), further below.
   if (options.max_iterations < 0) {
     return Status::InvalidArgument("max_iterations must be >= 0");
   }
@@ -222,10 +266,23 @@ StatusOr<QueryId> OptimizerService::Submit(const Query& query,
         "their defaults");
   }
 
-  // The canonical key drives shard placement, the completed-run cache,
-  // and in-flight coalescing, so it is always computed.
-  const std::string key = CanonicalQueryKey(query, options_.schema, options);
   const int max_iterations = ResolvedMaxIterations(options);
+
+  // Validation and the O(query) canonical-key construction stay outside
+  // the admission lock (they are the expensive part of Submit); only
+  // the catalog-version prefix depends on state mu_ guards. The
+  // canonical key drives shard placement, the completed-run cache, and
+  // in-flight coalescing, so it is always computed. It embeds the
+  // admission snapshot's version: keys from different catalog
+  // generations never collide.
+  std::shared_ptr<const CatalogSnapshot> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = catalog_snapshot_;
+  }
+  MOQO_RETURN_IF_ERROR(ValidateQuery(query, *snapshot));
+  const std::string key_suffix =
+      CanonicalQueryKeySuffix(query, options_.schema, options);
 
   QueryId id = kInvalidQueryId;
   // Set on a cache hit; streamed to the observer outside the lock.
@@ -233,6 +290,17 @@ StatusOr<QueryId> OptimizerService::Submit(const Query& query,
   bool notify = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (catalog_snapshot_ != snapshot) {
+      // A RefreshCatalog landed between the peek and admission:
+      // re-validate against the snapshot this submission actually pins
+      // (rare — the price of keeping validation off the hot lock).
+      // Admission stays atomic with respect to refresh: a submission
+      // either fully precedes one (pins the old snapshot, is marked
+      // stale with the other live runs) or fully follows it.
+      snapshot = catalog_snapshot_;
+      MOQO_RETURN_IF_ERROR(ValidateQuery(query, *snapshot));
+    }
+    const std::string key = VersionedKey(snapshot->version(), key_suffix);
     id = next_id_++;
     ++stats_.submitted;
     auto hit = options_.frontier_cache_capacity > 0 ? cache_index_.find(key)
@@ -245,6 +313,7 @@ StatusOr<QueryId> OptimizerService::Submit(const Query& query,
       result.state = QueryState::kDone;
       result.iterations = entry.iterations;
       result.from_cache = true;
+      result.catalog_version = entry.catalog_version;
       result.frontier = entry.frontier;  // Shared, not copied.
       RecordResultLocked(std::move(result));
       ++stats_.cache_hits;
@@ -279,6 +348,13 @@ StatusOr<QueryId> OptimizerService::Submit(const Query& query,
         run->query = query;
         run->iama = options.iama;
         run->max_iterations = max_iterations;
+        // Pin the admission-time catalog generation: the snapshot the
+        // session will optimize on and the fragment epoch its keys are
+        // built against (see the RunState field comments).
+        run->catalog = snapshot;
+        run->catalog_version = snapshot->version();
+        run->fragment_epoch =
+            fragment_store_ != nullptr ? fragment_store_->epoch() : 0;
         run->home_shard = static_cast<size_t>(
             Fnv1a64(key) % static_cast<uint64_t>(options_.num_shards));
         run->leader = id;
@@ -348,6 +424,44 @@ Status OptimizerService::ApplyBounds(QueryId id, const CostVector& bounds) {
   return Status::OK();
 }
 
+uint64_t OptimizerService::RefreshCatalog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const CatalogSnapshot> fresh = catalog_.Snapshot();
+  if (fresh->version() == catalog_snapshot_->version()) {
+    // Nothing changed since the last pin: invalidating would only
+    // throw away valid cache entries and fragments.
+    return catalog_snapshot_->version();
+  }
+  catalog_snapshot_ = std::move(fresh);
+  // Old-generation fragments become unreachable (fragment keys embed
+  // the epoch) and age out of the store via LRU.
+  if (fragment_store_ != nullptr) fragment_store_->BumpEpoch();
+  // Whole-query cache: every resident key embeds a dead catalog version
+  // and can never be hit again — drop the entries now instead of
+  // letting them squat in the LRU until capacity pushes them out.
+  cache_lru_.clear();
+  cache_index_.clear();
+  // In-flight runs finish on their pinned snapshots (the anytime
+  // contract for their riders) but are excluded from every sharing
+  // surface from here on — exactly the diverged-run machinery, minus
+  // the bounds change.
+  for (auto& [rid, run] : runs_) {
+    if (run->stale) continue;
+    run->stale = true;
+    auto flight = inflight_.find(run->key);
+    if (flight != inflight_.end() && flight->second == rid) {
+      inflight_.erase(flight);
+    }
+  }
+  ++stats_.catalog_refreshes;
+  return catalog_snapshot_->version();
+}
+
+uint64_t OptimizerService::catalog_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return catalog_snapshot_->version();
+}
+
 QueryResult OptimizerService::Wait(QueryId id) {
   QueryResult result;
   std::shared_ptr<const FrontierSnapshot> frontier;
@@ -371,6 +485,7 @@ QueryResult OptimizerService::Wait(QueryId id) {
       result.coalesced = stored.coalesced;
       result.plans_generated = stored.plans_generated;
       result.pairs_generated = stored.pairs_generated;
+      result.catalog_version = stored.catalog_version;
       frontier = stored.frontier;  // Shared; deep copy happens unlocked.
     }  // else: unknown id — result stays default-constructed.
     auto wit = wait_counts_.find(id);
@@ -438,8 +553,11 @@ uint64_t OptimizerService::PopRunLocked(size_t shard) {
 }
 
 void OptimizerService::BuildRun(RunState* run) {
+  // The factory pins the run's admission snapshot — not the live
+  // catalog — so a RefreshCatalog between admission and this first turn
+  // (or mid-run) never changes what the session optimizes on.
   run->factory = std::make_unique<PlanFactory>(
-      run->query, catalog_, options_.schema, options_.cost_params,
+      run->query, run->catalog, options_.schema, options_.cost_params,
       options_.operator_options);
   IamaOptions iama = run->iama;
   iama.optimizer.pool = nullptr;   // Rebound to the stepping shard's pool
@@ -449,7 +567,7 @@ void OptimizerService::BuildRun(RunState* run) {
     run->fragment_provider = std::make_unique<FragmentStoreProvider>(
         fragment_store_.get(), run->query, options_.schema, run->iama,
         options_.operator_options.enable_interesting_orders,
-        options_.fragment_min_tables);
+        options_.fragment_min_tables, run->fragment_epoch);
     iama.optimizer.fragment_store = run->fragment_provider.get();
     iama.optimizer.fragment_publish = options_.fragment_publish;
   }
@@ -491,6 +609,7 @@ void OptimizerService::FinalizeEntryLocked(
   result.coalesced = entry->coalesced;
   result.plans_generated = plans;
   result.pairs_generated = pairs;
+  result.catalog_version = entry->run->catalog_version;
   result.frontier = frontier != nullptr
                         ? std::move(frontier)
                         : std::make_shared<const FrontierSnapshot>();
@@ -535,14 +654,18 @@ void OptimizerService::CompleteRunLocked(RunState* run,
       run->last_published != nullptr
           ? run->last_published
           : std::make_shared<const FrontierSnapshot>();
-  if (!run->diverged && options_.frontier_cache_capacity > 0) {
+  // Diverged runs no longer match their key; stale runs describe a dead
+  // catalog generation. Neither may fill the cache.
+  if (!run->diverged && !run->stale && options_.frontier_cache_capacity > 0) {
     auto it = cache_index_.find(run->key);
     if (it != cache_index_.end()) {
       cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
-      cache_lru_.front().second = {frontier, run->steps_done};
+      cache_lru_.front().second = {frontier, run->steps_done,
+                                   run->catalog_version};
     } else {
-      cache_lru_.emplace_front(run->key,
-                               CacheEntry{frontier, run->steps_done});
+      cache_lru_.emplace_front(
+          run->key,
+          CacheEntry{frontier, run->steps_done, run->catalog_version});
       cache_index_.emplace(run->key, cache_lru_.begin());
       if (cache_lru_.size() > options_.frontier_cache_capacity) {
         cache_index_.erase(cache_lru_.back().first);
@@ -768,7 +891,7 @@ void OptimizerService::SchedulerLoop(size_t shard) {
          !run->pending_bounds.has_value());
     std::unique_ptr<FragmentStoreProvider> publish_provider;
     std::vector<IncrementalOptimizer::PublishableFragment> publish_cells;
-    if (will_complete_done && !run->diverged &&
+    if (will_complete_done && !run->diverged && !run->stale &&
         run->fragment_provider != nullptr && run->session != nullptr) {
       publish_cells =
           run->session->mutable_optimizer()->TakePublishableFragments();

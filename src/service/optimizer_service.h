@@ -70,6 +70,22 @@
 /// runs never publish, and a seeded run that diverges automatically
 /// falls back to full enumeration (correct, but no longer bit-identical
 /// to a cold diverged run).
+///
+/// **Catalog refresh.** Statistics drift; serving frontiers computed
+/// from dead cardinalities is a correctness bug, not a staleness
+/// nuisance. Every run pins an immutable CatalogSnapshot at admission
+/// and optimizes on it for its whole lifetime; RefreshCatalog()
+/// republishes the live catalog's current state: it re-pins the
+/// service's admission snapshot, bumps the fragment-store epoch,
+/// drops the whole-query cache (whose keys are version-guarded via
+/// CanonicalQueryKey anyway), and marks every in-flight run *stale* —
+/// stale runs finish normally on their pinned snapshot (their riders
+/// get exactly the frontier a cold run on the old catalog would
+/// produce) but stop accepting new followers and never publish to the
+/// cache or the fragment store, mirroring the diverged-run machinery.
+/// Each QueryResult carries the catalog version it was computed under.
+/// See docs/CATALOG_REFRESH.md for the full protocol and its
+/// guarantees.
 #ifndef MOQO_SERVICE_OPTIMIZER_SERVICE_H_
 #define MOQO_SERVICE_OPTIMIZER_SERVICE_H_
 
@@ -197,6 +213,13 @@ struct QueryResult {
   /// follower, or was promoted to leader after attaching as one) and so
   /// triggered no optimization of its own.
   bool coalesced = false;
+  /// The catalog version (Catalog::version) this result's frontier was
+  /// computed under — the version of the snapshot the serving run
+  /// pinned at admission (for cache hits: the version the caching run
+  /// pinned, which its key guarantees equals the submitter's). Runs
+  /// admitted before a RefreshCatalog() keep their old version, so
+  /// clients can tell pre-refresh results from post-refresh ones.
+  uint64_t catalog_version = 0;
   /// Optimizer work performed by the run that served this query, as of
   /// the run's latest turn boundary: join plans constructed
   /// (Counters::plans_generated) and fresh sub-plan pairs combined
@@ -226,6 +249,9 @@ struct ServiceStats {
   uint64_t coalesced = 0;       ///< Submits attached to an in-flight run.
   uint64_t steps_executed = 0;  ///< Optimizer steps across all runs.
   uint64_t work_steals = 0;     ///< Runs a shard stole from another queue.
+  /// Effective RefreshCatalog() calls (ones that observed a new catalog
+  /// version and invalidated; no-op refreshes are not counted).
+  uint64_t catalog_refreshes = 0;
   // Cross-query fragment store counters (zero while the store is
   // disabled); mirrored from FragmentStoreStats.
   uint64_t fragment_hits = 0;       ///< Cells seeded from the store.
@@ -233,20 +259,50 @@ struct ServiceStats {
   uint64_t fragment_publishes = 0;  ///< Cells published by completed runs.
   uint64_t fragment_evictions = 0;  ///< Cells evicted by the byte budget.
   uint64_t fragment_bytes = 0;      ///< Resident fragment bytes (gauge).
+
+  /// The counters accumulated since `baseline` (an earlier stats()
+  /// snapshot of the same service): every monotonic counter is
+  /// subtracted, the fragment_bytes gauge keeps its current value.
+  /// Lives next to the field list so adding a counter and keeping
+  /// delta-reporting tools (e.g. bench_service_throughput's warm
+  /// pre-pass) honest is one edit, not two.
+  ServiceStats Since(const ServiceStats& baseline) const {
+    ServiceStats d = *this;
+    d.submitted -= baseline.submitted;
+    d.completed -= baseline.completed;
+    d.cancelled -= baseline.cancelled;
+    d.expired -= baseline.expired;
+    d.cache_hits -= baseline.cache_hits;
+    d.coalesced -= baseline.coalesced;
+    d.steps_executed -= baseline.steps_executed;
+    d.work_steals -= baseline.work_steals;
+    d.catalog_refreshes -= baseline.catalog_refreshes;
+    d.fragment_hits -= baseline.fragment_hits;
+    d.fragment_misses -= baseline.fragment_misses;
+    d.fragment_publishes -= baseline.fragment_publishes;
+    d.fragment_evictions -= baseline.fragment_evictions;
+    return d;
+  }
 };
 
 /// Cache/placement key for a submission: canonicalized join graph
 /// (aliases and the query name dropped, join endpoints orientation-
 /// normalized — but join *sequence* preserved, since predicate indices
 /// feed the interesting-order tags and renumbering them could change the
-/// frontier), metric set, and every submit-level option that affects the
-/// result. Thread counts are deliberately excluded: the parallel engine
-/// is frontier-equivalent, so runs at different thread counts share
+/// frontier), metric set, the catalog version the submission is
+/// admitted under, and every submit-level option that affects the
+/// result. Folding in `catalog_version` makes the whole-query cache and
+/// in-flight coalescing refresh-safe: submissions from different
+/// catalog generations can never match, so a frontier computed on dead
+/// cardinalities is unreachable after RefreshCatalog(). Thread counts
+/// are deliberately excluded: the parallel engine is
+/// frontier-equivalent, so runs at different thread counts share
 /// cache lines. The same key drives shard placement and in-flight
 /// coalescing, so duplicates land on the same shard and attach to the
 /// same leader.
 std::string CanonicalQueryKey(const Query& query, const MetricSchema& schema,
-                              const SubmitOptions& options);
+                              const SubmitOptions& options,
+                              uint64_t catalog_version);
 
 /// The sharded multi-query serving layer; see the file comment for the
 /// full design (shards, stealing, coalescing, caching).
@@ -265,8 +321,10 @@ class OptimizerService {
   using SnapshotObserver =
       std::function<void(QueryId, const FrontierSnapshot&)>;
 
-  /// Starts the shard threads. `catalog` must outlive the service and
-  /// not be mutated while the service is alive.
+  /// Starts the shard threads, pinning `catalog`'s current snapshot for
+  /// admissions. `catalog` must outlive the service; it may be mutated
+  /// while the service runs (Catalog is thread-safe), but mutations
+  /// become visible to new submissions only through RefreshCatalog().
   OptimizerService(const Catalog& catalog, ServiceOptions options);
   /// Cancels all unfinished queries, joins the shard threads, and blocks
   /// until every Wait() call already in progress has returned. (As with
@@ -324,6 +382,27 @@ class OptimizerService {
   /// ids yield a result with id == kInvalidQueryId.
   QueryResult Wait(QueryId id);
 
+  /// Publishes the live catalog's current state to the service — the
+  /// statistics-refresh protocol (docs/CATALOG_REFRESH.md). Atomically
+  /// (under the service mutex): re-pins the admission snapshot, bumps
+  /// the fragment-store epoch so stored fragments from the old
+  /// generation can never be seeded again, drops the whole-query
+  /// frontier cache (its keys are version-guarded regardless — dropping
+  /// just frees the dead entries now), and marks every in-flight run
+  /// stale. Stale runs finish on the snapshot they pinned at admission
+  /// — bit-identical to a cold run on the old catalog — but accept no
+  /// new followers and never publish to the cache or fragment store.
+  /// Submissions admitted after RefreshCatalog returns optimize on the
+  /// new statistics and provably re-optimize (cache and fragment keys
+  /// cannot match any pre-refresh entry). A refresh that observes no
+  /// version change is a no-op. Returns the catalog version now serving
+  /// admissions. Thread-safe; may race Submit/Cancel/Wait freely.
+  uint64_t RefreshCatalog();
+
+  /// The catalog version new submissions are currently admitted under
+  /// (advances only via RefreshCatalog, not on catalog mutation).
+  uint64_t catalog_version() const;
+
   /// Snapshot of the monotonic service counters.
   ServiceStats stats() const;
   /// Total worker budget (ServiceOptions::num_threads).
@@ -348,6 +427,9 @@ class OptimizerService {
   struct CacheEntry {
     std::shared_ptr<const FrontierSnapshot> frontier;
     int iterations = 0;
+    // Version of the caching run's pinned snapshot; the key guards it,
+    // this mirror just tags cache-hit results.
+    uint64_t catalog_version = 0;
   };
 
   struct StoredResult {
@@ -358,6 +440,7 @@ class OptimizerService {
     bool coalesced = false;
     uint64_t plans_generated = 0;
     uint64_t pairs_generated = 0;
+    uint64_t catalog_version = 0;
     std::shared_ptr<const FrontierSnapshot> frontier;
   };
 
@@ -406,6 +489,10 @@ class OptimizerService {
 
   const Catalog& catalog_;
   const ServiceOptions options_;
+  // The snapshot new submissions pin (guarded by mu_); replaced only by
+  // RefreshCatalog. Runs keep their own reference, so replacing it
+  // never invalidates an in-flight session.
+  std::shared_ptr<const CatalogSnapshot> catalog_snapshot_;
   // Per-shard worker pools (null where the partition size is 1). A
   // stepping shard rebinds the run's session to its own pool, so each
   // pool has exactly one ParallelFor caller at any time.

@@ -25,6 +25,110 @@ TEST(CatalogTest, FindByName) {
   EXPECT_FALSE(catalog.FindByName("gamma").ok());
 }
 
+TEST(CatalogTest, FindByNameEdgeCases) {
+  Catalog empty;
+  const auto missing = empty.FindByName("anything");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  Catalog catalog;
+  catalog.AddTable({"alpha", 10.0, 100.0, true});
+  // The empty string is a well-formed (if odd) name: a proper NotFound,
+  // never a crash or a bogus hit.
+  const auto unnamed = catalog.FindByName("");
+  EXPECT_FALSE(unnamed.ok());
+  EXPECT_EQ(unnamed.status().code(), StatusCode::kNotFound);
+  // Snapshots answer the same queries the same way.
+  EXPECT_EQ(catalog.Snapshot()->FindByName("alpha").value(), 0);
+  EXPECT_FALSE(catalog.Snapshot()->FindByName("").ok());
+}
+
+TEST(CatalogTest, GetOutOfRangeAborts) {
+  Catalog catalog;
+  catalog.AddTable({"t", 10.0, 100.0, true});
+  EXPECT_DEATH_IF_SUPPORTED(catalog.Get(1), "out of range");
+  EXPECT_DEATH_IF_SUPPORTED(catalog.Get(-1), "out of range");
+  const auto snapshot = catalog.Snapshot();
+  EXPECT_DEATH_IF_SUPPORTED(snapshot->Get(1), "out of range");
+}
+
+TEST(CatalogTest, VersionAdvancesWithEveryMutation) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.version(), 0u);
+  const TableId id = catalog.AddTable({"t", 1000.0, 100.0, true});
+  const uint64_t after_add = catalog.version();
+  EXPECT_GT(after_add, 0u);
+  ASSERT_TRUE(catalog.UpdateStats(id, 2000.0).ok());
+  EXPECT_GT(catalog.version(), after_add);
+  const uint64_t after_update = catalog.version();
+  ASSERT_TRUE(catalog.ReplaceTable(id, {"t2", 10.0, 50.0, false}).ok());
+  EXPECT_GT(catalog.version(), after_update);
+}
+
+TEST(CatalogTest, UpdateStatsMutatesInPlace) {
+  Catalog catalog;
+  const TableId id = catalog.AddTable({"t", 1000.0, 100.0, true});
+  ASSERT_TRUE(catalog.UpdateStats(id, 5000.0).ok());
+  EXPECT_DOUBLE_EQ(catalog.Get(id).cardinality, 5000.0);
+  EXPECT_DOUBLE_EQ(catalog.Get(id).row_bytes, 100.0);  // Kept.
+  ASSERT_TRUE(catalog.UpdateStats(id, 6000.0, 200.0).ok());
+  EXPECT_DOUBLE_EQ(catalog.Get(id).row_bytes, 200.0);
+  EXPECT_EQ(catalog.Get(id).name, "t");  // UpdateStats never renames.
+
+  // User-input errors come back as Status, not aborts.
+  EXPECT_EQ(catalog.UpdateStats(7, 1000.0).code(), StatusCode::kNotFound);
+  EXPECT_EQ(catalog.UpdateStats(-1, 1000.0).code(), StatusCode::kNotFound);
+  EXPECT_EQ(catalog.UpdateStats(id, 0.5).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(catalog.UpdateStats(id, 1000.0, -3.0).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, ReplaceTableKeepsTheId) {
+  Catalog catalog;
+  catalog.AddTable({"a", 10.0, 100.0, true});
+  const TableId id = catalog.AddTable({"b", 20.0, 100.0, true});
+  ASSERT_TRUE(catalog.ReplaceTable(id, {"b2", 30.0, 80.0, false}).ok());
+  EXPECT_EQ(catalog.NumTables(), 2);
+  EXPECT_EQ(catalog.Get(id).name, "b2");
+  EXPECT_FALSE(catalog.Get(id).has_index);
+  EXPECT_FALSE(catalog.FindByName("b").ok());
+  EXPECT_EQ(catalog.FindByName("b2").value(), id);
+  EXPECT_EQ(catalog.ReplaceTable(9, {"x", 10.0, 1.0, true}).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(catalog.ReplaceTable(id, {"x", 0.0, 1.0, true}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogSnapshotTest, SnapshotsAreImmutableAndShared) {
+  Catalog catalog;
+  const TableId id = catalog.AddTable({"t", 1000.0, 100.0, true});
+  const auto s1 = catalog.Snapshot();
+  // No mutation in between: the cached snapshot is shared, not rebuilt.
+  EXPECT_EQ(catalog.Snapshot().get(), s1.get());
+  EXPECT_EQ(s1->version(), catalog.version());
+
+  ASSERT_TRUE(catalog.UpdateStats(id, 9999.0).ok());
+  // The old snapshot still shows the statistics it pinned...
+  EXPECT_DOUBLE_EQ(s1->Get(id).cardinality, 1000.0);
+  // ...while a fresh one shows the new state under a newer version.
+  const auto s2 = catalog.Snapshot();
+  EXPECT_NE(s2.get(), s1.get());
+  EXPECT_DOUBLE_EQ(s2->Get(id).cardinality, 9999.0);
+  EXPECT_GT(s2->version(), s1->version());
+  EXPECT_EQ(s2->NumTables(), 1);
+}
+
+TEST(CatalogSnapshotTest, CopiedCatalogsEvolveIndependently) {
+  Catalog original;
+  const TableId id = original.AddTable({"t", 1000.0, 100.0, true});
+  const Catalog copy = original;
+  ASSERT_TRUE(original.UpdateStats(id, 5.0e6).ok());
+  EXPECT_DOUBLE_EQ(copy.Get(id).cardinality, 1000.0);
+  EXPECT_DOUBLE_EQ(original.Get(id).cardinality, 5.0e6);
+  EXPECT_LT(copy.version(), original.version());
+}
+
 TEST(CatalogTest, PagesComputedFromWidthAndCardinality) {
   TableDef def{"t", 8192.0, 100.0, true};
   // 8192 rows * 100 B / 8192 B per page = 100 pages.

@@ -11,7 +11,9 @@
 // reader holds (hammered under TSan in CI).
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -627,6 +629,128 @@ TEST(OptimizerServiceFragmentTest, EpochBumpInvalidatesStore) {
   ASSERT_EQ(second.state, QueryState::kDone);
   EXPECT_EQ(second.pairs_generated, first.pairs_generated);
   EXPECT_GT(second.pairs_generated, 0u);
+}
+
+// The service-level refresh protocol, fragment side, for shard counts
+// {1, 2, 4}: after RefreshCatalog, a resubmitted identical query must
+// miss every pre-refresh fragment (epoch in the key) and pay the full
+// enumeration price on the NEW statistics — matching a cold run on the
+// new catalog bit for bit — and then re-warm the store under the new
+// epoch. Runs admitted before the refresh publish nothing.
+TEST(OptimizerServiceFragmentTest, RefreshCatalogInvalidatesFragments) {
+  const SubmitOptions submit = FragmentSubmitOptions();
+  const int iterations = submit.iama.schedule.NumLevels();
+  for (const int shards : {1, 2, 4}) {
+    Catalog catalog = MakeTpchCatalog();
+    ServiceOptions service_opts =
+        FragmentServiceOptions(shards, /*fragment_bytes=*/16 << 20);
+    OptimizerService service(catalog, service_opts);
+
+    const QueryResult cold =
+        service.Wait(service.Submit(CoreQuery(), submit).value());
+    ASSERT_EQ(cold.state, QueryState::kDone);
+    ASSERT_GT(cold.pairs_generated, 0u);
+    // Publishing happens on the shard thread after the result is
+    // already waitable; with idle shards around, an immediate
+    // resubmission could be stolen and step before the store is warm.
+    // The zero-pairs assertion needs the publish to have landed.
+    while (service.stats().fragment_publishes == 0) {
+      std::this_thread::yield();
+    }
+    // Store warm: an identical resubmission is fully seeded.
+    const QueryResult warm =
+        service.Wait(service.Submit(CoreQuery(), submit).value());
+    ASSERT_EQ(warm.state, QueryState::kDone);
+    ASSERT_EQ(warm.pairs_generated, 0u);
+
+    // Statistics drift on a core-chain table, then refresh.
+    ASSERT_TRUE(
+        catalog
+            .UpdateStats(TpchTable::kOrders,
+                         catalog.Get(TpchTable::kOrders).cardinality * 16.0)
+            .ok());
+    const uint64_t v1 = service.RefreshCatalog();
+    EXPECT_EQ(service.catalog_version(), v1);
+
+    // Full price again: every pre-refresh fragment is epoch-unreachable.
+    const uint64_t publishes_before_recold =
+        service.stats().fragment_publishes;
+    const QueryResult recold =
+        service.Wait(service.Submit(CoreQuery(), submit).value());
+    ASSERT_EQ(recold.state, QueryState::kDone);
+    EXPECT_EQ(recold.catalog_version, v1);
+    EXPECT_GT(recold.pairs_generated, 0u) << "shards " << shards;
+    const FrontierSnapshot new_reference = SequentialFinalSnapshot(
+        CoreQuery(), catalog, service_opts, submit.iama, iterations);
+    ASSERT_EQ(FrontierSignature(recold.frontier.plans),
+              FrontierSignature(new_reference.plans))
+        << "shards " << shards;
+    // Same publish barrier before asserting the re-warmed zero-pairs.
+    while (service.stats().fragment_publishes == publishes_before_recold) {
+      std::this_thread::yield();
+    }
+
+    // The store re-warms under the new epoch.
+    const QueryResult rewarm =
+        service.Wait(service.Submit(CoreQuery(), submit).value());
+    ASSERT_EQ(rewarm.state, QueryState::kDone);
+    EXPECT_EQ(rewarm.pairs_generated, 0u) << "shards " << shards;
+    ASSERT_EQ(FrontierSignature(rewarm.frontier.plans),
+              FrontierSignature(new_reference.plans));
+  }
+}
+
+// A run admitted before the refresh must not publish its (dead-
+// statistics) fragments — even though it completes in state kDone after
+// the refresh. The single-shard service is parked on a blocker so the
+// donor is provably in flight when RefreshCatalog lands.
+TEST(OptimizerServiceFragmentTest, StaleRunsDoNotPublishFragments) {
+  Catalog catalog = MakeTpchCatalog();
+  ServiceOptions service_opts =
+      FragmentServiceOptions(1, /*fragment_bytes=*/16 << 20);
+  OptimizerService service(catalog, service_opts);
+  SubmitOptions submit = FragmentSubmitOptions();
+
+  // Blocker: parks the shard inside its first observer call.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool entered = false, released = false, blocked_once = false;
+  SubmitOptions blocker_submit = FragmentSubmitOptions();
+  blocker_submit.max_iterations = 1000000;
+  const QueryId blocker =
+      service
+          .Submit(VariantQuery(3), blocker_submit,
+                  [&](QueryId, const FrontierSnapshot&) {
+                    std::unique_lock<std::mutex> lock(mu);
+                    if (blocked_once) return;
+                    blocked_once = entered = true;
+                    cv.notify_all();
+                    cv.wait(lock, [&] { return released; });
+                  })
+          .value();
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return entered; });
+  }
+
+  // Admitted pre-refresh; completes post-refresh as a stale run.
+  const QueryId stale = service.Submit(CoreQuery(), submit).value();
+  ASSERT_TRUE(
+      catalog
+          .UpdateStats(TpchTable::kOrders,
+                       catalog.Get(TpchTable::kOrders).cardinality * 16.0)
+          .ok());
+  service.RefreshCatalog();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    released = true;
+    cv.notify_all();
+  }
+  ASSERT_TRUE(service.Cancel(blocker));
+  service.Wait(blocker);
+  const QueryResult rs = service.Wait(stale);
+  ASSERT_EQ(rs.state, QueryState::kDone);
+  EXPECT_EQ(service.stats().fragment_publishes, 0u);
 }
 
 // Submit owns no fragment knobs: injecting a provider or enabling

@@ -5,7 +5,10 @@
 // onto the running leader (no second optimization — asserted on step
 // counters) with correct follower cancel/expiry/handoff semantics;
 // ApplyBounds must re-bound live runs and keep diverged results out of
-// the cache; cancellation, deadlines, admission validation, and teardown
+// the cache; RefreshCatalog must make resubmitted queries re-optimize
+// on the new statistics (cache miss by key version) while runs admitted
+// earlier finish bit-identical to a cold run on their pinned snapshot;
+// cancellation, deadlines, admission validation, and teardown
 // must all behave under concurrent submitters (this test also runs under
 // TSan).
 #include <algorithm>
@@ -830,21 +833,190 @@ TEST(OptimizerServiceShardingTest, IdleShardsStealQueuedRuns) {
   EXPECT_GE(stats.work_steals, 1u);
 }
 
+// --- Catalog refresh ---------------------------------------------------------
+
+// The refresh acceptance bar, per shard count: a query optimized and
+// cached before RefreshCatalog() must, when resubmitted afterwards,
+// provably re-optimize (cache miss) and produce the frontier of a cold
+// run on the NEW catalog — while the pre-refresh results equal a cold
+// run on the OLD catalog, and post-refresh repeats are cache-served
+// again under the new version.
+void ExpectRefreshReoptimizesOnNewCatalog(int shards) {
+  Workload w = MakeWorkload(/*num_random=*/0);
+  ServiceOptions service_opts = SmallServiceOptions(/*threads=*/2);
+  service_opts.num_shards = shards;
+  const SubmitOptions submit = SmallSubmitOptions();
+  const int iterations = submit.iama.schedule.NumLevels();
+  const Query& q = w.queries.front();
+  const Catalog old_catalog = w.catalog;  // Pre-drift statistics.
+
+  OptimizerService service(w.catalog, service_opts);
+  const uint64_t v0 = service.catalog_version();
+  EXPECT_EQ(v0, old_catalog.version());
+
+  const QueryResult r1 = service.Wait(service.Submit(q, submit).value());
+  ASSERT_EQ(r1.state, QueryState::kDone);
+  EXPECT_EQ(r1.catalog_version, v0);
+  const QueryResult r2 = service.Wait(service.Submit(q, submit).value());
+  EXPECT_TRUE(r2.from_cache);
+  EXPECT_EQ(r2.catalog_version, v0);
+
+  // Statistics drift: the query's first table grows 64x, then the
+  // service is told. The refresh is what publishes the mutation —
+  // before it, submissions still optimize (and cache-hit) on v0.
+  const TableId drifted = q.tables.front().table;
+  ASSERT_TRUE(w.catalog
+                  .UpdateStats(drifted,
+                               w.catalog.Get(drifted).cardinality * 64.0)
+                  .ok());
+  const QueryResult still_old =
+      service.Wait(service.Submit(q, submit).value());
+  EXPECT_TRUE(still_old.from_cache);
+  EXPECT_EQ(still_old.catalog_version, v0);
+
+  const uint64_t v1 = service.RefreshCatalog();
+  EXPECT_GT(v1, v0);
+  EXPECT_EQ(v1, service.catalog_version());
+  EXPECT_EQ(service.stats().catalog_refreshes, 1u);
+
+  // Resubmission re-optimizes on the new statistics.
+  const uint64_t steps_before = service.stats().steps_executed;
+  const QueryResult r3 = service.Wait(service.Submit(q, submit).value());
+  ASSERT_EQ(r3.state, QueryState::kDone);
+  EXPECT_FALSE(r3.from_cache);
+  EXPECT_FALSE(r3.coalesced);
+  EXPECT_EQ(r3.catalog_version, v1);
+  EXPECT_EQ(service.stats().steps_executed - steps_before,
+            static_cast<uint64_t>(iterations));
+
+  const FrontierSnapshot old_reference = SequentialFinalSnapshot(
+      q, old_catalog, service_opts, submit.iama, iterations);
+  const FrontierSnapshot new_reference = SequentialFinalSnapshot(
+      q, w.catalog, service_opts, submit.iama, iterations);
+  // The drift is result-affecting (otherwise this test is vacuous).
+  ASSERT_NE(FrontierSignature(new_reference.plans),
+            FrontierSignature(old_reference.plans));
+  ASSERT_EQ(FrontierSignature(r1.frontier.plans),
+            FrontierSignature(old_reference.plans));
+  ASSERT_EQ(FrontierSignature(r3.frontier.plans),
+            FrontierSignature(new_reference.plans));
+
+  // The new-generation frontier is cacheable as usual.
+  const QueryResult r4 = service.Wait(service.Submit(q, submit).value());
+  EXPECT_TRUE(r4.from_cache);
+  EXPECT_EQ(r4.catalog_version, v1);
+  ASSERT_EQ(FrontierSignature(r4.frontier.plans),
+            FrontierSignature(new_reference.plans));
+}
+
+TEST(OptimizerServiceRefreshTest, ReoptimizesOnNewCatalogOneShard) {
+  ExpectRefreshReoptimizesOnNewCatalog(1);
+}
+
+TEST(OptimizerServiceRefreshTest, ReoptimizesOnNewCatalogTwoShards) {
+  ExpectRefreshReoptimizesOnNewCatalog(2);
+}
+
+TEST(OptimizerServiceRefreshTest, ReoptimizesOnNewCatalogFourShards) {
+  ExpectRefreshReoptimizesOnNewCatalog(4);
+}
+
+TEST(OptimizerServiceRefreshTest, LiveRunFinishesOnPinnedSnapshot) {
+  // A run admitted before the refresh must complete bit-identical to a
+  // cold run on the OLD catalog (it pinned that snapshot at admission),
+  // must not fill the cache, and must not accept post-refresh
+  // followers; a post-refresh duplicate re-optimizes on the new one.
+  Workload w = MakeWorkload(/*num_random=*/1, /*random_tables=*/4);
+  CoalescingRig rig(w);  // One shard, parked on the blocker.
+  const Query& q = w.queries.front();
+  const Catalog old_catalog = w.catalog;
+  const uint64_t v0 = rig.service.catalog_version();
+
+  // Admitted (and pinned) pre-refresh; queued behind the blocker.
+  const QueryId pinned = rig.service.Submit(q, rig.submit).value();
+
+  const TableId drifted = q.tables.front().table;
+  ASSERT_TRUE(w.catalog
+                  .UpdateStats(drifted,
+                               w.catalog.Get(drifted).cardinality * 64.0)
+                  .ok());
+  const uint64_t v1 = rig.service.RefreshCatalog();
+  ASSERT_GT(v1, v0);
+
+  // A post-refresh duplicate must NOT coalesce onto the stale run: it
+  // would get old-catalog results under a new-catalog admission.
+  const QueryId fresh = rig.service.Submit(q, rig.submit).value();
+  EXPECT_EQ(rig.service.stats().coalesced, 0u);
+
+  rig.ReleaseAndFinishBlocker();
+  const QueryResult rp = rig.service.Wait(pinned);
+  const QueryResult rf = rig.service.Wait(fresh);
+
+  const FrontierSnapshot old_reference =
+      SequentialFinalSnapshot(q, old_catalog, SmallServiceOptions(1),
+                              rig.submit.iama, rig.iterations);
+  const FrontierSnapshot new_reference =
+      SequentialFinalSnapshot(q, w.catalog, SmallServiceOptions(1),
+                              rig.submit.iama, rig.iterations);
+  ASSERT_NE(FrontierSignature(new_reference.plans),
+            FrontierSignature(old_reference.plans));
+
+  ASSERT_EQ(rp.state, QueryState::kDone);
+  EXPECT_EQ(rp.catalog_version, v0);
+  EXPECT_FALSE(rp.from_cache);
+  ASSERT_EQ(FrontierSignature(rp.frontier.plans),
+            FrontierSignature(old_reference.plans));
+
+  ASSERT_EQ(rf.state, QueryState::kDone);
+  EXPECT_EQ(rf.catalog_version, v1);
+  EXPECT_FALSE(rf.from_cache);
+  EXPECT_FALSE(rf.coalesced);
+  ASSERT_EQ(FrontierSignature(rf.frontier.plans),
+            FrontierSignature(new_reference.plans));
+
+  // The stale run never filled the cache: only the fresh run's entry is
+  // servable, and it carries the new version.
+  const QueryResult again =
+      rig.service.Wait(rig.service.Submit(q, rig.submit).value());
+  EXPECT_TRUE(again.from_cache);
+  EXPECT_EQ(again.catalog_version, v1);
+  ASSERT_EQ(FrontierSignature(again.frontier.plans),
+            FrontierSignature(new_reference.plans));
+}
+
+TEST(OptimizerServiceRefreshTest, RefreshWithoutMutationIsANoOp) {
+  Workload w = MakeWorkload(/*num_random=*/0);
+  OptimizerService service(w.catalog, SmallServiceOptions(1));
+  const SubmitOptions submit = SmallSubmitOptions();
+  const Query& q = w.queries.front();
+  const uint64_t v0 = service.catalog_version();
+  const QueryResult r1 = service.Wait(service.Submit(q, submit).value());
+  ASSERT_EQ(r1.state, QueryState::kDone);
+  // No catalog mutation happened: the refresh keeps version, cache, and
+  // counters untouched.
+  EXPECT_EQ(service.RefreshCatalog(), v0);
+  EXPECT_EQ(service.stats().catalog_refreshes, 0u);
+  const QueryResult r2 = service.Wait(service.Submit(q, submit).value());
+  EXPECT_TRUE(r2.from_cache);
+  EXPECT_EQ(r2.catalog_version, v0);
+}
+
 TEST(CanonicalQueryKeyTest, IgnoresNamesAliasesAndJoinOrientation) {
   const Catalog catalog = MakeTpchCatalog();
   const Query q = TpchQueryBlocks(catalog).front();
   const SubmitOptions submit = SmallSubmitOptions();
   const MetricSchema schema = MetricSchema::Standard3();
-  const std::string base = CanonicalQueryKey(q, schema, submit);
+  const uint64_t version = catalog.version();
+  const std::string base = CanonicalQueryKey(q, schema, submit, version);
 
   Query renamed = q;
   renamed.name = "other";
   for (TableRef& t : renamed.tables) t.alias += "_z";
-  EXPECT_EQ(CanonicalQueryKey(renamed, schema, submit), base);
+  EXPECT_EQ(CanonicalQueryKey(renamed, schema, submit, version), base);
 
   Query flipped = q;
   std::swap(flipped.joins[0].left, flipped.joins[0].right);
-  EXPECT_EQ(CanonicalQueryKey(flipped, schema, submit), base);
+  EXPECT_EQ(CanonicalQueryKey(flipped, schema, submit, version), base);
 }
 
 TEST(CanonicalQueryKeyTest, DistinguishesResultAffectingChanges) {
@@ -853,23 +1025,29 @@ TEST(CanonicalQueryKeyTest, DistinguishesResultAffectingChanges) {
   const Query q = blocks.front();
   const SubmitOptions submit = SmallSubmitOptions();
   const MetricSchema schema = MetricSchema::Standard3();
-  const std::string base = CanonicalQueryKey(q, schema, submit);
+  const uint64_t version = catalog.version();
+  const std::string base = CanonicalQueryKey(q, schema, submit, version);
 
   Query different_sel = q;
   different_sel.tables[0].predicate_selectivity *= 0.5;
-  EXPECT_NE(CanonicalQueryKey(different_sel, schema, submit), base);
+  EXPECT_NE(CanonicalQueryKey(different_sel, schema, submit, version), base);
 
   SubmitOptions finer = submit;
   finer.iama.schedule = ResolutionSchedule(7, 1.02, 0.3);
-  EXPECT_NE(CanonicalQueryKey(q, schema, finer), base);
+  EXPECT_NE(CanonicalQueryKey(q, schema, finer, version), base);
 
   SubmitOptions bounded = submit;
   bounded.iama.initial_bounds = CostVector::Infinite(3);
-  EXPECT_NE(CanonicalQueryKey(q, schema, bounded), base);
+  EXPECT_NE(CanonicalQueryKey(q, schema, bounded, version), base);
 
   SubmitOptions more_iters = submit;
   more_iters.max_iterations = 11;
-  EXPECT_NE(CanonicalQueryKey(q, schema, more_iters), base);
+  EXPECT_NE(CanonicalQueryKey(q, schema, more_iters, version), base);
+
+  // The catalog version (statistics generation) is result-affecting:
+  // the ROADMAP gap this closes — a refresh must make every pre-refresh
+  // cache line and in-flight leader unmatchable.
+  EXPECT_NE(CanonicalQueryKey(q, schema, submit, version + 1), base);
 
   // Join *sequence* is result-affecting (interesting-order tags), so two
   // predicates in swapped positions must not share a cache line.
@@ -878,7 +1056,7 @@ TEST(CanonicalQueryKeyTest, DistinguishesResultAffectingChanges) {
         q.joins[0].right == q.joins[1].right)) {
     Query reordered = q;
     std::swap(reordered.joins[0], reordered.joins[1]);
-    EXPECT_NE(CanonicalQueryKey(reordered, schema, submit), base);
+    EXPECT_NE(CanonicalQueryKey(reordered, schema, submit, version), base);
   }
 }
 
