@@ -1,0 +1,155 @@
+// optimizerd — the anytime multi-objective optimizer as a network
+// service: an OptimizerService behind the TCP wire protocol
+// (docs/NETWORK_API.md), with per-tenant quotas, load shedding, and
+// graceful drain for rolling restarts.
+//
+// Usage:
+//   ./build/optimizerd [--port P] [--host H] [--threads N] [--shards N]
+//                      [--max-inflight N] [--shed-hint-ms D]
+//                      [--quota TENANT=MAX[:WEIGHT]] [--default-quota MAX[:WEIGHT]]
+//                      [--max-connections N] [--fragment-cache-mb M]
+//
+//   --port P           TCP port; 0 (default) picks an ephemeral port
+//   --host H           bind address (default 127.0.0.1)
+//   --threads N        worker budget across shards (default 4)
+//   --shards N         scheduler shards (default 2)
+//   --max-inflight N   run-count bound; beyond it submits are load-shed
+//                      with kShedding + retry-after (default 64; 0 = off)
+//   --shed-hint-ms D   retry-after hint per queued run (default 25)
+//   --quota T=M[:W]    per-tenant in-flight quota and fair-share weight;
+//                      repeatable (e.g. --quota gold=32:4 --quota free=2)
+//   --default-quota M[:W]  quota for tenants without an explicit entry
+//   --max-connections N    refuse connections beyond N (default 0 = off)
+//   --fragment-cache-mb M  cross-query fragment store budget (default 16)
+//
+// Prints exactly one line "optimizerd: listening on HOST:PORT" once
+// serving (scripts parse it; see tests/optimizerd_smoke.sh), then blocks.
+// SIGINT/SIGTERM trigger a graceful drain: admission closes (new submits
+// get kDraining), in-flight runs finish and deliver results to their
+// clients, then the process exits 0 with a stats summary.
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "catalog/tpch.h"
+#include "net/server.h"
+#include "service/optimizer_service.h"
+
+using namespace moqo;
+
+namespace {
+
+// Parses "MAX" or "MAX:WEIGHT" into a TenantQuota.
+TenantQuota ParseQuota(const char* spec) {
+  TenantQuota q;
+  q.max_inflight = std::atoi(spec);
+  const char* colon = std::strchr(spec, ':');
+  if (colon != nullptr) q.weight = std::atoi(colon + 1);
+  return q;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServiceOptions service_options;
+  service_options.num_threads = 4;
+  service_options.num_shards = 2;
+  service_options.max_inflight_runs = 64;
+  service_options.fragment_cache_bytes = 16u << 20;
+  net::ServerOptions server_options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      server_options.port = static_cast<uint16_t>(std::atoi(next()));
+    } else if (arg == "--host") {
+      server_options.host = next();
+    } else if (arg == "--threads") {
+      service_options.num_threads = std::atoi(next());
+    } else if (arg == "--shards") {
+      service_options.num_shards = std::atoi(next());
+    } else if (arg == "--max-inflight") {
+      service_options.max_inflight_runs =
+          static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--shed-hint-ms") {
+      service_options.shed_retry_hint_ms = std::atof(next());
+    } else if (arg == "--quota") {
+      const char* spec = next();
+      const char* eq = std::strchr(spec, '=');
+      if (eq == nullptr) {
+        std::fprintf(stderr, "--quota wants TENANT=MAX[:WEIGHT]\n");
+        return 2;
+      }
+      service_options.tenant_quotas[std::string(spec, eq)] =
+          ParseQuota(eq + 1);
+    } else if (arg == "--default-quota") {
+      service_options.default_quota = ParseQuota(next());
+    } else if (arg == "--max-connections") {
+      server_options.max_connections = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--fragment-cache-mb") {
+      service_options.fragment_cache_bytes =
+          static_cast<size_t>(std::atoll(next())) << 20;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  // Block the shutdown signals before any thread spawns, so every
+  // service/server thread inherits the mask and sigwait below is the
+  // only consumer.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  Catalog catalog = MakeTpchCatalog();
+  OptimizerService service(catalog, service_options);
+  net::OptimizerServer server(&service, server_options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "optimizerd: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("optimizerd: listening on %s:%u\n", server_options.host.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&sigs, &sig);
+
+  // Graceful drain: close admission first, let in-flight runs finish
+  // and stream their results out, then tear the sockets down.
+  std::printf("optimizerd: signal %d, draining\n", sig);
+  std::fflush(stdout);
+  server.BeginDrain();
+  service.WaitIdle();
+  server.Shutdown();
+
+  const ServiceStats stats = service.stats();
+  std::printf(
+      "optimizerd: drained. submitted %llu, completed %llu, cancelled %llu, "
+      "cache hits %llu, coalesced %llu, quota-rejected %llu, shed %llu, "
+      "drain-rejected %llu, snapshot drops %llu\n",
+      static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.cancelled),
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.coalesced),
+      static_cast<unsigned long long>(stats.quota_rejected),
+      static_cast<unsigned long long>(stats.shed),
+      static_cast<unsigned long long>(stats.drain_rejected),
+      static_cast<unsigned long long>(stats.snapshot_drops));
+  return 0;
+}

@@ -1,0 +1,212 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace moqo {
+namespace net {
+
+OptimizerClient::~OptimizerClient() { Close(); }
+
+void OptimizerClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status OptimizerClient::Connect(const std::string& host, uint16_t port) {
+  if (fd_ >= 0) return Status::FailedPrecondition("already connected");
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad server address: " + host);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const Status st =
+        Status::Internal(std::string("connect: ") + strerror(errno));
+    Close();
+    return st;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  Status st = WriteFrame(fd_, MsgType::kHello, EncodeHello(kWireVersion));
+  Frame frame;
+  if (st.ok()) st = ReadFrame(fd_, &frame);
+  if (st.ok()) {
+    if (frame.type == static_cast<uint8_t>(MsgType::kHelloOk)) {
+      uint32_t wire_version = 0;
+      uint32_t api_version = 0;
+      st = DecodeHelloOk(frame, &wire_version, &api_version);
+    } else if (frame.type == static_cast<uint8_t>(MsgType::kError)) {
+      uint64_t tag = 0;
+      Status remote;
+      st = DecodeError(frame, &tag, &remote);
+      if (st.ok()) st = remote;  // The server's refusal, verbatim.
+    } else {
+      st = Status::InvalidArgument("unexpected handshake reply");
+    }
+  }
+  if (!st.ok()) Close();
+  return st;
+}
+
+Status OptimizerClient::PumpOne(uint64_t want_tag, Frame* reply,
+                                bool* got_reply) {
+  *got_reply = false;
+  Frame frame;
+  MOQO_RETURN_IF_ERROR(ReadFrame(fd_, &frame));
+  switch (static_cast<MsgType>(frame.type)) {
+    case MsgType::kSnapshot: {
+      SnapshotMsg msg;
+      MOQO_RETURN_IF_ERROR(DecodeSnapshot(frame, &msg));
+      const QueryId id = msg.id;
+      snapshots_[id].push_back(std::move(msg));
+      return Status::OK();
+    }
+    case MsgType::kResult: {
+      QueryResult result;
+      MOQO_RETURN_IF_ERROR(DecodeResult(frame, &result));
+      results_[result.id] = std::move(result);
+      return Status::OK();
+    }
+    case MsgType::kSubmitOk:
+    case MsgType::kError:
+    case MsgType::kCancelOk: {
+      // Reply frames carry the tag first in every encoding.
+      Reader r(frame.payload);
+      uint64_t tag = 0;
+      MOQO_RETURN_IF_ERROR(r.GetU64(&tag));
+      if (tag != want_tag) {
+        // Blocking calls run one at a time on this connection, so a
+        // mismatched reply tag means the two sides disagree about the
+        // conversation — unrecoverable.
+        return Status::Internal("reply tag mismatch");
+      }
+      *reply = std::move(frame);
+      *got_reply = true;
+      return Status::OK();
+    }
+    default:
+      return Status::InvalidArgument("unexpected frame from server");
+  }
+}
+
+StatusOr<SubmitResponse> OptimizerClient::Submit(const SubmitRequest& request) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  const uint64_t tag = next_tag_++;
+  MOQO_RETURN_IF_ERROR(
+      WriteFrame(fd_, MsgType::kSubmit, EncodeSubmit(tag, request)));
+  Frame reply;
+  bool got_reply = false;
+  while (!got_reply) {
+    MOQO_RETURN_IF_ERROR(PumpOne(tag, &reply, &got_reply));
+  }
+  if (reply.type == static_cast<uint8_t>(MsgType::kError)) {
+    uint64_t reply_tag = 0;
+    Status remote;
+    MOQO_RETURN_IF_ERROR(DecodeError(reply, &reply_tag, &remote));
+    return remote;  // The admission taxonomy, decoded from the wire.
+  }
+  if (reply.type != static_cast<uint8_t>(MsgType::kSubmitOk)) {
+    return Status::Internal("unexpected submit reply type");
+  }
+  uint64_t reply_tag = 0;
+  SubmitResponse response;
+  MOQO_RETURN_IF_ERROR(DecodeSubmitOk(reply, &reply_tag, &response));
+  known_[response.id] = true;
+  return response;
+}
+
+StatusOr<bool> OptimizerClient::Cancel(QueryId id) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  if (known_.find(id) == known_.end()) {
+    return Status::NotFound("id was not submitted on this connection");
+  }
+  const uint64_t tag = next_tag_++;
+  MOQO_RETURN_IF_ERROR(
+      WriteFrame(fd_, MsgType::kCancel, EncodeCancel(tag, id)));
+  Frame reply;
+  bool got_reply = false;
+  while (!got_reply) {
+    MOQO_RETURN_IF_ERROR(PumpOne(tag, &reply, &got_reply));
+  }
+  if (reply.type == static_cast<uint8_t>(MsgType::kError)) {
+    uint64_t reply_tag = 0;
+    Status remote;
+    MOQO_RETURN_IF_ERROR(DecodeError(reply, &reply_tag, &remote));
+    return remote;
+  }
+  if (reply.type != static_cast<uint8_t>(MsgType::kCancelOk)) {
+    return Status::Internal("unexpected cancel reply type");
+  }
+  uint64_t reply_tag = 0;
+  bool cancelled = false;
+  MOQO_RETURN_IF_ERROR(DecodeCancelOk(reply, &reply_tag, &cancelled));
+  return cancelled;
+}
+
+StatusOr<QueryResult> OptimizerClient::Wait(QueryId id) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  if (known_.find(id) == known_.end()) {
+    return Status::NotFound("id was not submitted on this connection");
+  }
+  for (;;) {
+    auto it = results_.find(id);
+    if (it != results_.end()) {
+      QueryResult result = std::move(it->second);
+      results_.erase(it);
+      return result;
+    }
+    // Results arrive unsolicited; pump with a tag no reply can carry
+    // (tags start at 1), so any reply frame here is a protocol error.
+    Frame reply;
+    bool got_reply = false;
+    MOQO_RETURN_IF_ERROR(PumpOne(/*want_tag=*/0, &reply, &got_reply));
+    if (got_reply) return Status::Internal("unsolicited reply frame");
+  }
+}
+
+StatusOr<bool> OptimizerClient::WaitSnapshot(QueryId id) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  if (known_.find(id) == known_.end()) {
+    return Status::NotFound("id was not submitted on this connection");
+  }
+  for (;;) {
+    auto snap = snapshots_.find(id);
+    if (snap != snapshots_.end() && !snap->second.empty()) return true;
+    if (results_.find(id) != results_.end()) return false;
+    Frame reply;
+    bool got_reply = false;
+    MOQO_RETURN_IF_ERROR(PumpOne(/*want_tag=*/0, &reply, &got_reply));
+    if (got_reply) return Status::Internal("unsolicited reply frame");
+  }
+}
+
+std::vector<SnapshotMsg> OptimizerClient::TakeSnapshots(QueryId id) {
+  auto it = snapshots_.find(id);
+  if (it == snapshots_.end()) return {};
+  std::vector<SnapshotMsg> out = std::move(it->second);
+  snapshots_.erase(it);
+  return out;
+}
+
+}  // namespace net
+}  // namespace moqo

@@ -1,0 +1,102 @@
+/// \file
+/// Blocking client for the optimizerd wire protocol (net/wire.h).
+///
+/// The client mirrors the in-process OptimizerService surface — Submit /
+/// Cancel / Wait plus snapshot streaming — over one TCP connection.
+/// Because the protocol is asynchronous (snapshot and result frames for
+/// run A may arrive while the caller is waiting on run B), the client
+/// demultiplexes internally: frames read while waiting for one reply are
+/// buffered per run and served later from TakeSnapshots()/Wait().
+///
+/// The class is deliberately *not* thread-safe: one thread drives one
+/// connection (the loadgen opens one client per simulated session, which
+/// is also the server's unit of isolation). All calls block until their
+/// reply arrives.
+#ifndef MOQO_NET_CLIENT_H_
+#define MOQO_NET_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "net/wire.h"
+#include "service/service_api.h"
+#include "util/status.h"
+
+namespace moqo {
+namespace net {
+
+/// One connection to an optimizerd server.
+class OptimizerClient {
+ public:
+  /// An unconnected client; call Connect().
+  OptimizerClient() = default;
+  /// Closes the connection if open.
+  ~OptimizerClient();
+
+  OptimizerClient(const OptimizerClient&) = delete;
+  OptimizerClient& operator=(const OptimizerClient&) = delete;
+
+  /// Connects, performs the HELLO handshake, and verifies the version.
+  /// A draining or over-capacity server refuses here with kDraining /
+  /// kShedding — the taxonomy arrives before any submission.
+  Status Connect(const std::string& host, uint16_t port);
+
+  /// Closes the connection. Safe to call repeatedly.
+  void Close();
+
+  /// True between a successful Connect() and Close().
+  bool connected() const { return fd_ >= 0; }
+
+  /// Submits `request` and blocks for the server's admission decision.
+  /// `request.subscribe` selects snapshot streaming: when set, the
+  /// run's snapshot frames are collected and available from
+  /// TakeSnapshots(). Admission rejections surface as the same Status
+  /// taxonomy the in-process Submit returns (kQuotaExceeded, kShedding
+  /// with retry_after_ms(), kDraining, kInvalidArgument), decoded from
+  /// the wire. The response's `subscription` field is always null —
+  /// remote streams arrive as frames, not queues.
+  StatusOr<SubmitResponse> Submit(const SubmitRequest& request);
+
+  /// Requests cancellation of one of this connection's runs. Returns
+  /// the same bool as the in-process Cancel (true = the run had not
+  /// finished), or kNotFound for ids not submitted on this connection.
+  StatusOr<bool> Cancel(QueryId id);
+
+  /// Blocks until run `id`'s terminal RESULT frame arrives and returns
+  /// the decoded QueryResult — frontier bit-identical to what an
+  /// in-process Wait would have returned. Ids not submitted on this
+  /// connection return kNotFound.
+  StatusOr<QueryResult> Wait(QueryId id);
+
+  /// Drains the snapshots received so far for run `id` (order
+  /// preserved; gap markers intact). Non-blocking: frames are collected
+  /// while any blocking call pumps the connection. After Wait(id)
+  /// returns, the run's stream is complete.
+  std::vector<SnapshotMsg> TakeSnapshots(QueryId id);
+
+  /// Blocks until run `id` has at least one undrained snapshot (returns
+  /// true) or its terminal result arrived first (returns false — e.g. a
+  /// cache hit whose stream was not requested). The loadgen's
+  /// time-to-first-frontier clock stops here.
+  StatusOr<bool> WaitSnapshot(QueryId id);
+
+ private:
+  // Reads one frame and files it: snapshots and results into per-run
+  // buffers; reply frames (matching `want_tag`) into *reply.
+  // Returns true via *got_reply when the awaited reply arrived.
+  Status PumpOne(uint64_t want_tag, Frame* reply, bool* got_reply);
+
+  int fd_ = -1;
+  uint64_t next_tag_ = 1;
+  std::unordered_map<QueryId, std::vector<SnapshotMsg>> snapshots_;
+  std::unordered_map<QueryId, QueryResult> results_;
+  // Every id ever issued to this connection; gates Wait/Cancel.
+  std::unordered_map<QueryId, bool> known_;
+};
+
+}  // namespace net
+}  // namespace moqo
+
+#endif  // MOQO_NET_CLIENT_H_

@@ -1,0 +1,124 @@
+/// \file
+/// optimizerd's TCP front end: OptimizerServer serves the wire protocol
+/// (net/wire.h) over an OptimizerService.
+///
+/// **Threading model.** One acceptor thread plus one thread per
+/// connection. A connection thread multiplexes three event sources with
+/// poll(2): its socket (client requests), a per-connection eventfd that
+/// every one of the connection's snapshot subscriptions pokes on Push
+/// (SnapshotSubscription::SetWakeupFd), and a server-wide stop pipe
+/// (closed on Shutdown). Snapshot delivery is therefore pull-based end
+/// to end: scheduler shards push into bounded per-run queues and move
+/// on; the connection thread drains those queues and writes frames at
+/// whatever pace the client sustains. A client that stops reading
+/// eventually blocks only *its own* connection thread — its
+/// subscriptions then overflow (drop-oldest with gap markers) and every
+/// other connection and every scheduler shard is unaffected.
+///
+/// **Lifecycle.** Start() binds and begins accepting. BeginDrain()
+/// closes admission (new submits get kDraining, new connections are
+/// refused) while letting in-flight runs finish and deliver results —
+/// the rolling-restart half-step. Shutdown() is the hard stop: closes
+/// the stop pipe, shuts down every live socket, joins all threads.
+/// The destructor calls Shutdown().
+#ifndef MOQO_NET_SERVER_H_
+#define MOQO_NET_SERVER_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "service/optimizer_service.h"
+#include "util/status.h"
+
+namespace moqo {
+namespace net {
+
+/// Listener configuration for OptimizerServer.
+struct ServerOptions {
+  /// Interface to bind; loopback by default.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// listen(2) backlog.
+  int backlog = 128;
+  /// Connection cap; beyond it new connections are refused with a
+  /// kShedding error frame before the handshake. 0 = unlimited.
+  size_t max_connections = 0;
+  /// Kernel send-buffer size (SO_SNDBUF) per accepted connection, in
+  /// bytes; 0 keeps the system default. A small value bounds the kernel
+  /// memory a non-reading client can pin and makes the end-to-end
+  /// backpressure chain engage sooner: the connection thread blocks on
+  /// the full socket, its subscription overflows, and drop-oldest takes
+  /// over — the scheduler shards never notice.
+  size_t send_buffer_bytes = 0;
+};
+
+/// The TCP server. Owns the listener, the acceptor thread, and one
+/// thread per live connection; does not own the service.
+class OptimizerServer {
+ public:
+  /// Binds to `service` (which must outlive the server) with the given
+  /// listener options. No sockets are opened until Start().
+  OptimizerServer(OptimizerService* service, ServerOptions options);
+  /// Calls Shutdown().
+  ~OptimizerServer();
+
+  OptimizerServer(const OptimizerServer&) = delete;
+  OptimizerServer& operator=(const OptimizerServer&) = delete;
+
+  /// Binds, listens, and starts the acceptor thread. Returns
+  /// kFailedPrecondition if already started, kInternal (with errno
+  /// text) on socket failures.
+  Status Start();
+
+  /// The bound TCP port (resolves option `port == 0`); valid after a
+  /// successful Start().
+  uint16_t port() const;
+
+  /// Stops accepting connections and closes service admission
+  /// (OptimizerService::BeginDrain): subsequent submits on live
+  /// connections fail with kDraining, in-flight runs finish and deliver
+  /// their results. Irreversible; idempotent.
+  void BeginDrain();
+
+  /// Hard stop: closes the listener and every live connection, joins
+  /// all threads. Idempotent. For a graceful restart call BeginDrain(),
+  /// wait for the service to go idle (OptimizerService::WaitIdle), then
+  /// Shutdown().
+  void Shutdown();
+
+  /// Live connection count (gauge).
+  size_t active_connections() const;
+
+ private:
+  struct Conn {
+    std::thread thread;
+    int fd = -1;
+    bool done = false;
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Conn* conn);
+
+  OptimizerService* const service_;
+  const ServerOptions options_;
+
+  mutable std::mutex mu_;
+  std::list<Conn> conns_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  // Connections poll the read end; Shutdown closes the write end and
+  // every poller wakes with POLLHUP.
+  int stop_pipe_[2] = {-1, -1};
+  std::thread acceptor_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace net
+}  // namespace moqo
+
+#endif  // MOQO_NET_SERVER_H_

@@ -16,17 +16,20 @@ using Clock = std::chrono::steady_clock;
 // two selectivities / bounds that could produce different cost vectors.
 void AppendDouble(std::string* out, double v) { AppendHexDouble(out, v); }
 
-int ResolvedMaxIterations(const SubmitOptions& options) {
-  return options.max_iterations > 0 ? options.max_iterations
-                                    : options.iama.schedule.NumLevels();
+int ResolvedMaxIterations(const SubmitRequest& request) {
+  return request.max_iterations > 0 ? request.max_iterations
+                                    : request.iama.schedule.NumLevels();
 }
 
 // The catalog-version-independent tail of CanonicalQueryKey. Split out
 // so Submit can do the O(query) string construction outside the
 // admission lock and only prepend the version prefix under it.
+// Tenant, priority, deadline, and streaming knobs are deliberately
+// excluded: they never affect the frontier, so submissions differing
+// only in them share cache lines and coalesce.
 std::string CanonicalQueryKeySuffix(const Query& query,
                                     const MetricSchema& schema,
-                                    const SubmitOptions& options) {
+                                    const SubmitRequest& options) {
   std::string key = "t=";
   for (const TableRef& t : query.tables) {  // Aliases are display-only.
     key += std::to_string(t.table);
@@ -100,10 +103,19 @@ std::string VersionedKey(uint64_t catalog_version,
 }  // namespace
 
 std::string CanonicalQueryKey(const Query& query, const MetricSchema& schema,
-                              const SubmitOptions& options,
+                              const SubmitRequest& request,
                               uint64_t catalog_version) {
   return VersionedKey(catalog_version,
-                      CanonicalQueryKeySuffix(query, schema, options));
+                      CanonicalQueryKeySuffix(query, schema, request));
+}
+
+std::string CanonicalQueryKey(const Query& query, const MetricSchema& schema,
+                              const SubmitOptions& options,
+                              uint64_t catalog_version) {
+  SubmitRequest request;
+  request.iama = options.iama;
+  request.max_iterations = options.max_iterations;
+  return CanonicalQueryKey(query, schema, request, catalog_version);
 }
 
 // One submitted query: its observer, scheduling parameters, and the run
@@ -111,6 +123,13 @@ std::string CanonicalQueryKey(const Query& query, const MetricSchema& schema,
 struct OptimizerService::QueryEntry {
   QueryId id = kInvalidQueryId;
   SnapshotObserver observer;
+  // Pull-based stream handed to the submitter (null unless requested).
+  // The shard pushes into it per step; finalization pushes the terminal
+  // event. Its own mutex is a leaf below mu_.
+  std::shared_ptr<SnapshotSubscription> subscription;
+  // Admission-control identity; "" = default tenant. Finalization
+  // releases the tenant's in-flight slot.
+  std::string tenant;
   int priority = 1;
   bool has_deadline = false;
   Clock::time_point deadline;
@@ -232,41 +251,68 @@ OptimizerService::~OptimizerService() {
 StatusOr<QueryId> OptimizerService::Submit(const Query& query,
                                            SubmitOptions options,
                                            SnapshotObserver observer) {
-  // All user input is validated here (Status, not CHECK). The query
-  // itself is validated under mu_ against the pinned admission snapshot
-  // (the statistics the run will actually optimize on), further below.
-  if (options.max_iterations < 0) {
+  SubmitRequest request;
+  request.query = query;
+  request.priority = options.priority;
+  request.deadline_ms = options.deadline_ms;
+  request.max_iterations = options.max_iterations;
+  request.iama = std::move(options.iama);
+  request.observer = std::move(observer);
+  StatusOr<SubmitResponse> response = Submit(std::move(request));
+  if (!response.ok()) return response.status();
+  return response.value().id;
+}
+
+StatusOr<SubmitResponse> OptimizerService::Submit(SubmitRequest request) {
+  // All user input is validated here (Status, not CHECK) — this is the
+  // entry point remote bytes reach after decoding, so nothing below may
+  // abort on a malformed field. The query itself is validated under mu_
+  // against the pinned admission snapshot (the statistics the run will
+  // actually optimize on), further below.
+  if (request.max_iterations < 0) {
     return Status::InvalidArgument("max_iterations must be >= 0");
   }
-  if (options.priority < 1) {
+  if (request.priority < 1) {
     return Status::InvalidArgument("priority must be >= 1");
   }
-  if (options.deadline_ms < 0.0) {
+  if (request.deadline_ms < 0.0) {
     return Status::InvalidArgument("deadline_ms must be >= 0");
   }
-  if (options.iama.initial_bounds.has_value() &&
-      options.iama.initial_bounds->dims() != options_.schema.dims()) {
+  if (request.iama.initial_bounds.has_value() &&
+      request.iama.initial_bounds->dims() != options_.schema.dims()) {
     return Status::InvalidArgument(
         "initial_bounds dimension does not match the service metric schema");
   }
-  if (options.iama.optimizer.pool != nullptr) {
+  if (request.iama.optimizer.pool != nullptr) {
     return Status::InvalidArgument(
         "optimizer.pool is owned by the service; do not inject one");
   }
-  if (options.iama.optimizer.num_threads != 1) {
+  if (request.iama.optimizer.num_threads != 1) {
     return Status::InvalidArgument(
         "optimizer.num_threads is owned by the service (ServiceOptions"
         "::num_threads); leave it at 1");
   }
-  if (options.iama.optimizer.fragment_store != nullptr ||
-      options.iama.optimizer.fragment_publish) {
+  if (request.iama.optimizer.fragment_store != nullptr ||
+      request.iama.optimizer.fragment_publish) {
     return Status::InvalidArgument(
         "optimizer.fragment_store/fragment_publish are owned by the "
         "service (ServiceOptions::fragment_cache_bytes); leave them at "
         "their defaults");
   }
 
-  const int max_iterations = ResolvedMaxIterations(options);
+  const int max_iterations = ResolvedMaxIterations(request);
+  // Tenant quota and fair-share weight (options_ is immutable after
+  // construction, so the lookup needs no lock). The weight scales the
+  // round-robin turn length — scheduling only, never the frontier.
+  auto quota_it = options_.tenant_quotas.find(request.tenant);
+  const TenantQuota& quota = quota_it != options_.tenant_quotas.end()
+                                 ? quota_it->second
+                                 : options_.default_quota;
+  const long long weighted_priority =
+      static_cast<long long>(request.priority) *
+      static_cast<long long>(std::max(1, quota.weight));
+  const int effective_priority = static_cast<int>(
+      std::min<long long>(weighted_priority, 1 << 20));
 
   // Validation and the O(query) canonical-key construction stay outside
   // the admission lock (they are the expensive part of Submit); only
@@ -280,16 +326,23 @@ StatusOr<QueryId> OptimizerService::Submit(const Query& query,
     std::lock_guard<std::mutex> lock(mu_);
     snapshot = catalog_snapshot_;
   }
-  MOQO_RETURN_IF_ERROR(ValidateQuery(query, *snapshot));
+  MOQO_RETURN_IF_ERROR(ValidateQuery(request.query, *snapshot));
   const std::string key_suffix =
-      CanonicalQueryKeySuffix(query, options_.schema, options);
+      CanonicalQueryKeySuffix(request.query, options_.schema, request);
 
-  QueryId id = kInvalidQueryId;
+  SubmitResponse response;
   // Set on a cache hit; streamed to the observer outside the lock.
   std::shared_ptr<const FrontierSnapshot> cached;
   bool notify = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      // Admission is closed for good (rolling restart); even cache hits
+      // are rejected so clients fail over to a serving replica at once.
+      ++stats_.drain_rejected;
+      return Status::Draining(
+          "service is draining for restart; resubmit to another replica");
+    }
     if (catalog_snapshot_ != snapshot) {
       // A RefreshCatalog landed between the peek and admission:
       // re-validate against the snapshot this submission actually pins
@@ -298,14 +351,18 @@ StatusOr<QueryId> OptimizerService::Submit(const Query& query,
       // either fully precedes one (pins the old snapshot, is marked
       // stale with the other live runs) or fully follows it.
       snapshot = catalog_snapshot_;
-      MOQO_RETURN_IF_ERROR(ValidateQuery(query, *snapshot));
+      MOQO_RETURN_IF_ERROR(ValidateQuery(request.query, *snapshot));
     }
     const std::string key = VersionedKey(snapshot->version(), key_suffix);
-    id = next_id_++;
-    ++stats_.submitted;
+    response.catalog_version = snapshot->version();
     auto hit = options_.frontier_cache_capacity > 0 ? cache_index_.find(key)
                                                     : cache_index_.end();
     if (hit != cache_index_.end()) {
+      // Cache hits occupy no run and no tenant slot, so they are served
+      // even at quota or over capacity — rejecting free work helps
+      // nobody.
+      const QueryId id = next_id_++;
+      ++stats_.submitted;
       cache_lru_.splice(cache_lru_.begin(), cache_lru_, hit->second);
       const CacheEntry& entry = cache_lru_.front().second;
       StoredResult result;
@@ -319,21 +376,71 @@ StatusOr<QueryId> OptimizerService::Submit(const Query& query,
       ++stats_.cache_hits;
       ++stats_.completed;
       cached = entry.frontier;
+      response.id = id;
+      response.from_cache = true;
+      response.catalog_version = entry.catalog_version;
+      if (request.subscribe) {
+        // The stream of a cached result is exactly one final event.
+        response.subscription = std::make_shared<SnapshotSubscription>(
+            request.subscription_capacity);
+        response.subscription->Push(entry.frontier, /*is_final=*/true);
+      }
     } else {
+      // Per-tenant in-flight quota: leaders and followers both hold a
+      // slot (a follower still consumes a result, a Wait, a stream).
+      auto tenant_count = tenant_inflight_.find(request.tenant);
+      if (quota.max_inflight > 0 &&
+          tenant_count != tenant_inflight_.end() &&
+          tenant_count->second >= quota.max_inflight) {
+        ++stats_.quota_rejected;
+        return Status::QuotaExceeded(
+            "tenant '" + request.tenant + "' is at its in-flight quota (" +
+            std::to_string(quota.max_inflight) + ")");
+      }
+      auto flight = options_.coalesce_in_flight ? inflight_.find(key)
+                                                : inflight_.end();
+      const bool coalesces = flight != inflight_.end();
+      if (!coalesces && options_.max_inflight_runs > 0 &&
+          runs_.size() >= options_.max_inflight_runs) {
+        // Load shed: the submission would create a run beyond the
+        // bound. The retry-after hint scales with the queued backlog —
+        // a crude drain-time estimate, monotone in load.
+        ++stats_.shed;
+        size_t queued = 0;
+        for (const std::deque<uint64_t>& q : shard_queues_) {
+          queued += q.size();
+        }
+        if (queued < 1) queued = 1;
+        const uint64_t hint = static_cast<uint64_t>(
+            options_.shed_retry_hint_ms * static_cast<double>(queued) + 0.5);
+        return Status::Shedding(
+            "service over capacity (" + std::to_string(runs_.size()) + "/" +
+                std::to_string(options_.max_inflight_runs) +
+                " runs in flight)",
+            hint);
+      }
+      const QueryId id = next_id_++;
+      ++stats_.submitted;
+      response.id = id;
       auto entry = std::make_unique<QueryEntry>();
       entry->id = id;
-      entry->observer = std::move(observer);
-      entry->priority = options.priority;
-      if (options.deadline_ms > 0.0) {
+      entry->observer = std::move(request.observer);
+      entry->tenant = request.tenant;
+      entry->priority = effective_priority;
+      if (request.subscribe) {
+        entry->subscription = std::make_shared<SnapshotSubscription>(
+            request.subscription_capacity);
+        response.subscription = entry->subscription;
+      }
+      ++tenant_inflight_[request.tenant];
+      if (request.deadline_ms > 0.0) {
         entry->has_deadline = true;
         entry->deadline =
             Clock::now() + std::chrono::duration_cast<Clock::duration>(
                                std::chrono::duration<double, std::milli>(
-                                   options.deadline_ms));
+                                   request.deadline_ms));
       }
-      auto flight = options_.coalesce_in_flight ? inflight_.find(key)
-                                                : inflight_.end();
-      if (flight != inflight_.end()) {
+      if (coalesces) {
         // Coalesce: ride the in-flight leader instead of optimizing the
         // same query a second time.
         RunState* run = runs_.at(flight->second).get();
@@ -341,12 +448,13 @@ StatusOr<QueryId> OptimizerService::Submit(const Query& query,
         entry->coalesced = true;
         run->followers.push_back(id);
         ++stats_.coalesced;
+        response.coalesced = true;
       } else {
         auto run = std::make_unique<RunState>();
         run->run_id = next_run_id_++;
         run->key = key;
-        run->query = query;
-        run->iama = options.iama;
+        run->query = std::move(request.query);
+        run->iama = request.iama;
         run->max_iterations = max_iterations;
         // Pin the admission-time catalog generation: the snapshot the
         // session will optimize on and the fragment epoch its keys are
@@ -370,11 +478,11 @@ StatusOr<QueryId> OptimizerService::Submit(const Query& query,
   if (cached != nullptr) {
     // Stream the cached final frontier as the one and only snapshot.
     // (Waiters were already notified inside the lock.)
-    if (observer) observer(id, *cached);
+    if (request.observer) request.observer(response.id, *cached);
   } else if (notify) {
     work_cv_.notify_one();
   }
-  return id;
+  return response;
 }
 
 bool OptimizerService::Cancel(QueryId id) {
@@ -520,6 +628,26 @@ int OptimizerService::active_waiters() const {
   return waiters_;
 }
 
+void OptimizerService::BeginDrain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+}
+
+bool OptimizerService::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+void OptimizerService::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Every finalization notifies done_cv_ (via RecordResultLocked), so
+  // the predicate is re-checked exactly when an entry retires. With
+  // BeginDrain() in effect no new entries can appear, making this a
+  // terminating drain barrier; without it, it is simply "idle right
+  // now".
+  done_cv_.wait(lock, [&] { return entries_.empty(); });
+}
+
 bool OptimizerService::AnyQueuedLocked() const {
   for (const std::deque<uint64_t>& q : shard_queues_) {
     if (!q.empty()) return true;
@@ -625,6 +753,22 @@ void OptimizerService::FinalizeEntryLocked(
       break;
     case QueryState::kQueued:
       MOQO_CHECK(false);  // Not a terminal state.
+  }
+  if (entry->subscription != nullptr) {
+    // The terminal frontier is never dropped: Push closes the stream, so
+    // this event survives any backlog (drop-oldest evicts older ones to
+    // make room) and late pushes from a turn already in flight are
+    // ignored. Drops are folded into service stats here — the
+    // subscription outlives the entry, but its count is stable once
+    // closed.
+    entry->subscription->Push(result.frontier, /*is_final=*/true);
+    stats_.snapshot_drops += entry->subscription->dropped_total();
+  }
+  // Release the tenant's in-flight slot (every non-cache admission took
+  // one, the anonymous tenant "" included).
+  auto tenant_it = tenant_inflight_.find(entry->tenant);
+  if (tenant_it != tenant_inflight_.end() && --tenant_it->second <= 0) {
+    tenant_inflight_.erase(tenant_it);
   }
   RecordResultLocked(std::move(result));
   entries_.erase(entry->id);
@@ -765,11 +909,17 @@ void OptimizerService::SchedulerLoop(size_t shard) {
     // high-priority duplicate accelerates the shared run for everyone.
     int priority = leader->priority;
     std::vector<std::pair<QueryId, SnapshotObserver>> observers;
+    // Subscriptions are shared_ptr copies: a rider may Cancel (and its
+    // entry be finalized) mid-turn, after which pushes land on a closed
+    // stream and are ignored — no dangling, no lost final event.
+    std::vector<std::shared_ptr<SnapshotSubscription>> subs;
     if (leader->observer) observers.emplace_back(run->leader, leader->observer);
+    if (leader->subscription != nullptr) subs.push_back(leader->subscription);
     for (QueryId fid : run->followers) {
       const QueryEntry* f = entries_.at(fid).get();
       priority = std::max(priority, f->priority);
       if (f->observer) observers.emplace_back(fid, f->observer);
+      if (f->subscription != nullptr) subs.push_back(f->subscription);
     }
     std::optional<CostVector> pending = std::move(run->pending_bounds);
     run->pending_bounds.reset();
@@ -801,6 +951,14 @@ void OptimizerService::SchedulerLoop(size_t shard) {
       ++steps_this_turn;
       for (const auto& [qid, observer] : observers) {
         observer(qid, run->last_snapshot);
+      }
+      if (!subs.empty()) {
+        // One publication copy per step, shared by every subscriber; each
+        // Push is an O(1) bounded enqueue — a stalled subscriber costs
+        // this shard nothing beyond it (the backpressure guarantee).
+        auto shared =
+            std::make_shared<const FrontierSnapshot>(run->last_snapshot);
+        for (const auto& sub : subs) sub->Push(shared, /*is_final=*/false);
       }
       run->session->ApplyAction(UserAction::Continue());
       if (run->steps_done >= run->max_iterations) {

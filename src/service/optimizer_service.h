@@ -86,6 +86,20 @@
 /// Each QueryResult carries the catalog version it was computed under.
 /// See docs/CATALOG_REFRESH.md for the full protocol and its
 /// guarantees.
+///
+/// **Admission control and streaming (the service API).** Submissions
+/// arrive as one SubmitRequest (service_api.h) — the struct the network
+/// wire protocol (src/net/) encodes verbatim, so remote and in-process
+/// submissions take the same path. Admission enforces per-tenant
+/// in-flight quotas and fair-share weights, a service-wide run bound
+/// with load shedding (kShedding + retry-after) instead of unbounded
+/// queueing, and a graceful-drain mode (BeginDrain) for rolling
+/// restarts; every rejection returns a distinct Status code. Snapshot
+/// streaming is pull-based and backpressure-safe: a subscriber owns a
+/// bounded drop-oldest queue (SnapshotSubscription) the shard pushes
+/// into in O(1), so a stalled consumer can never hold a shard's turn —
+/// the legacy synchronous observer remains for in-process tooling that
+/// guarantees not to block.
 #ifndef MOQO_SERVICE_OPTIMIZER_SERVICE_H_
 #define MOQO_SERVICE_OPTIMIZER_SERVICE_H_
 
@@ -108,15 +122,12 @@
 #include "plan/cost_model.h"
 #include "query/query.h"
 #include "service/fragment_store.h"
+#include "service/service_api.h"
+#include "service/snapshot_stream.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace moqo {
-
-/// Service-wide ticket for one submitted query. 0 is never issued.
-using QueryId = uint64_t;
-/// The never-issued id; marks unknown queries in results.
-inline constexpr QueryId kInvalidQueryId = 0;
 
 /// Service-wide configuration, fixed at construction.
 struct ServiceOptions {
@@ -156,6 +167,23 @@ struct ServiceOptions {
   /// >= 2. Larger values trade hit opportunities for fewer, bigger
   /// fragments.
   int fragment_min_tables = 2;
+  /// Admission backpressure: the maximum number of physical runs (live
+  /// optimizations, queued or stepping) the service holds at once.
+  /// A Submit that would create a run beyond this bound is load-shed
+  /// with kShedding and a retry-after hint instead of queueing
+  /// unboundedly — the overload contract a network front end needs.
+  /// Cache hits and coalesced followers are always admitted (they
+  /// create no run). 0 = unlimited (in-process/test use).
+  size_t max_inflight_runs = 0;
+  /// Base of the kShedding retry-after hint: the hint is this value
+  /// times the number of runs currently waiting in shard queues (at
+  /// least 1) — a crude but monotone estimate of backlog drain time.
+  double shed_retry_hint_ms = 25.0;
+  /// Admission limits for tenants without an entry in `tenant_quotas`.
+  TenantQuota default_quota;
+  /// Per-tenant admission limits and fair-share weights, keyed by
+  /// SubmitRequest::tenant.
+  std::unordered_map<std::string, TenantQuota> tenant_quotas;
   /// Metric schema shared by all queries of this service. (A service-
   /// wide constant, so it does not participate in the per-query cache
   /// key.)
@@ -164,125 +192,6 @@ struct ServiceOptions {
   CostModelParams cost_params;
   /// Operator library configuration shared by all queries (service-wide).
   OperatorOptions operator_options;
-};
-
-/// Per-submission options.
-struct SubmitOptions {
-  /// Session configuration: resolution schedule, initial bounds, and
-  /// result-affecting optimizer knobs. `iama.optimizer.pool` and
-  /// `iama.optimizer.num_threads` are owned by the service and must be
-  /// left at their defaults (Submit rejects anything else).
-  IamaOptions iama;
-  /// Total session steps to run; 0 means schedule.NumLevels() — one
-  /// sweep from resolution 0 to rM. Must be >= 0.
-  int max_iterations = 0;
-  /// Steps granted per scheduler turn (weighted round-robin); >= 1. A
-  /// coalesced run steps at the maximum priority among its riders.
-  int priority = 1;
-  /// Wall-clock budget in ms, measured from admission; 0 = no deadline.
-  /// An expired query completes with whatever frontier its run last
-  /// produced — possibly none, if no step ran before the deadline.
-  double deadline_ms = 0.0;
-};
-
-/// Terminal states as reported by Wait(); kQueued is only ever seen as
-/// the default of a QueryResult for an unknown id — in-flight queries
-/// are not observable through results.
-enum class QueryState {
-  kQueued,     ///< Not finished (only on unknown-id results).
-  kDone,       ///< Ran all requested iterations (or served from cache).
-  kCancelled,  ///< Cancel() before completion.
-  kExpired,    ///< Deadline elapsed before all iterations ran.
-};
-
-/// Terminal outcome of one submitted query, as returned by Wait().
-struct QueryResult {
-  /// The query's ticket; kInvalidQueryId = unknown query id.
-  QueryId id = kInvalidQueryId;
-  /// Terminal state (kQueued only for unknown ids).
-  QueryState state = QueryState::kQueued;
-  /// Optimizer steps executed by the run that served this query (for a
-  /// coalesced follower: the shared run's steps, not zero). May exceed
-  /// the requested max_iterations when ApplyBounds landed on the run's
-  /// final step: the run takes at least one extra step under the new
-  /// bounds rather than dropping them.
-  int iterations = 0;
-  /// True when the result was served by the completed-run LRU cache.
-  bool from_cache = false;
-  /// True when this query attached to an in-flight duplicate (it was a
-  /// follower, or was promoted to leader after attaching as one) and so
-  /// triggered no optimization of its own.
-  bool coalesced = false;
-  /// The catalog version (Catalog::version) this result's frontier was
-  /// computed under — the version of the snapshot the serving run
-  /// pinned at admission (for cache hits: the version the caching run
-  /// pinned, which its key guarantees equals the submitter's). Runs
-  /// admitted before a RefreshCatalog() keep their old version, so
-  /// clients can tell pre-refresh results from post-refresh ones.
-  uint64_t catalog_version = 0;
-  /// Optimizer work performed by the run that served this query, as of
-  /// the run's latest turn boundary: join plans constructed
-  /// (Counters::plans_generated) and fresh sub-plan pairs combined
-  /// (Counters::pairs_generated). 0 for cache hits — no optimization
-  /// ran. With fragment sharing enabled these are the counters a warm
-  /// store visibly reduces on overlapping queries.
-  uint64_t plans_generated = 0;
-  /// See plans_generated.
-  uint64_t pairs_generated = 0;
-  /// The run's last *published* snapshot: the final frontier for kDone;
-  /// for queries finalized between a run's turns (cancelled or expired
-  /// followers, cancelled leaders of dead runs) the frontier from the
-  /// latest turn boundary — which may trail snapshots already streamed
-  /// to the observer mid-turn. Plan ids inside refer to the run's
-  /// (freed) arena — treat them as opaque tags; the cost vectors and
-  /// order/resolution fields are the payload.
-  FrontierSnapshot frontier;
-};
-
-/// Monotonic service-lifetime counters (returned by stats()).
-struct ServiceStats {
-  uint64_t submitted = 0;       ///< Admitted queries (valid Submits).
-  uint64_t completed = 0;       ///< Queries finished in state kDone.
-  uint64_t cancelled = 0;       ///< Queries finished in state kCancelled.
-  uint64_t expired = 0;         ///< Queries finished in state kExpired.
-  uint64_t cache_hits = 0;      ///< Submits served by the frontier cache.
-  uint64_t coalesced = 0;       ///< Submits attached to an in-flight run.
-  uint64_t steps_executed = 0;  ///< Optimizer steps across all runs.
-  uint64_t work_steals = 0;     ///< Runs a shard stole from another queue.
-  /// Effective RefreshCatalog() calls (ones that observed a new catalog
-  /// version and invalidated; no-op refreshes are not counted).
-  uint64_t catalog_refreshes = 0;
-  // Cross-query fragment store counters (zero while the store is
-  // disabled); mirrored from FragmentStoreStats.
-  uint64_t fragment_hits = 0;       ///< Cells seeded from the store.
-  uint64_t fragment_misses = 0;     ///< Cell lookups that found nothing.
-  uint64_t fragment_publishes = 0;  ///< Cells published by completed runs.
-  uint64_t fragment_evictions = 0;  ///< Cells evicted by the byte budget.
-  uint64_t fragment_bytes = 0;      ///< Resident fragment bytes (gauge).
-
-  /// The counters accumulated since `baseline` (an earlier stats()
-  /// snapshot of the same service): every monotonic counter is
-  /// subtracted, the fragment_bytes gauge keeps its current value.
-  /// Lives next to the field list so adding a counter and keeping
-  /// delta-reporting tools (e.g. bench_service_throughput's warm
-  /// pre-pass) honest is one edit, not two.
-  ServiceStats Since(const ServiceStats& baseline) const {
-    ServiceStats d = *this;
-    d.submitted -= baseline.submitted;
-    d.completed -= baseline.completed;
-    d.cancelled -= baseline.cancelled;
-    d.expired -= baseline.expired;
-    d.cache_hits -= baseline.cache_hits;
-    d.coalesced -= baseline.coalesced;
-    d.steps_executed -= baseline.steps_executed;
-    d.work_steals -= baseline.work_steals;
-    d.catalog_refreshes -= baseline.catalog_refreshes;
-    d.fragment_hits -= baseline.fragment_hits;
-    d.fragment_misses -= baseline.fragment_misses;
-    d.fragment_publishes -= baseline.fragment_publishes;
-    d.fragment_evictions -= baseline.fragment_evictions;
-    return d;
-  }
 };
 
 /// Cache/placement key for a submission: canonicalized join graph
@@ -301,6 +210,12 @@ struct ServiceStats {
 /// coalescing, so duplicates land on the same shard and attach to the
 /// same leader.
 std::string CanonicalQueryKey(const Query& query, const MetricSchema& schema,
+                              const SubmitRequest& request,
+                              uint64_t catalog_version);
+
+/// Legacy-options overload of CanonicalQueryKey.
+/// \deprecated Use the SubmitRequest overload.
+std::string CanonicalQueryKey(const Query& query, const MetricSchema& schema,
                               const SubmitOptions& options,
                               uint64_t catalog_version);
 
@@ -308,18 +223,9 @@ std::string CanonicalQueryKey(const Query& query, const MetricSchema& schema,
 /// full design (shards, stealing, coalescing, caching).
 class OptimizerService {
  public:
-  /// Observes one query's frontier stream. Invoked with the service
-  /// mutex released, from the shard thread stepping the query's run (or
-  /// from inside Submit for cache hits). Calls for one query are
-  /// serialized; observers may Submit, Cancel, or ApplyBounds, but must
-  /// not Wait. A follower's observer sees every snapshot from its first
-  /// full scheduler turn onward, and is guaranteed the final frontier
-  /// (delivered once at completion if no step snapshot reached it); a
-  /// cancelled query's observer may still receive the remaining
-  /// snapshots of the scheduler turn already in progress (up to the
-  /// leader's priority many) after Cancel returns.
-  using SnapshotObserver =
-      std::function<void(QueryId, const FrontierSnapshot&)>;
+  /// The legacy synchronous observer type; see moqo::SnapshotObserver
+  /// for the contract (kept as a nested alias for source compatibility).
+  using SnapshotObserver = moqo::SnapshotObserver;
 
   /// Starts the shard threads, pinning `catalog`'s current snapshot for
   /// admissions. `catalog` must outlive the service; it may be mutated
@@ -337,14 +243,22 @@ class OptimizerService {
   /// Not copy-assignable (same ownership reasons).
   OptimizerService& operator=(const OptimizerService&) = delete;
 
-  /// Admits a query. Validates the query against the catalog and the
-  /// submit options (user input ⇒ Status, not CHECK). On success the
-  /// returned id is immediately schedulable; snapshots stream to
-  /// `observer`. A submission whose canonical key matches a completed
-  /// run returns its cached frontier without optimizing; one matching a
-  /// run still in flight attaches to it as a follower (see the file
-  /// comment) — both outcomes are reported via QueryResult::from_cache
-  /// / QueryResult::coalesced.
+  /// Admits a submission — the single entry point shared by in-process
+  /// callers and the network front end (the wire codec encodes exactly
+  /// this struct). Validates the query against the catalog and every
+  /// option (user input ⇒ Status, not CHECK), applies admission control
+  /// (see the error taxonomy in service_api.h: kQuotaExceeded for a
+  /// tenant at its in-flight quota, kShedding with a retry-after hint
+  /// when max_inflight_runs is reached, kDraining after BeginDrain),
+  /// and on success returns the schedulable id plus what admission
+  /// decided (cache hit, coalesced, subscription). A submission whose
+  /// canonical key matches a completed run returns its cached frontier
+  /// without optimizing; one matching a run still in flight attaches to
+  /// it as a follower (see the file comment).
+  StatusOr<SubmitResponse> Submit(SubmitRequest request);
+
+  /// Legacy positional Submit.
+  /// \deprecated Shim over Submit(SubmitRequest); use that directly.
   StatusOr<QueryId> Submit(const Query& query, SubmitOptions options = {},
                            SnapshotObserver observer = nullptr);
 
@@ -402,6 +316,20 @@ class OptimizerService {
   /// The catalog version new submissions are currently admitted under
   /// (advances only via RefreshCatalog, not on catalog mutation).
   uint64_t catalog_version() const;
+
+  /// Starts a graceful drain for rolling restarts: every subsequent
+  /// Submit is rejected with kDraining, while queries already admitted
+  /// run to their normal terminal state and stay Wait()able. Idempotent;
+  /// there is no un-drain (restart the process instead — that is the
+  /// use case). Cancel/ApplyBounds/Wait/stats keep working throughout.
+  void BeginDrain();
+  /// True once BeginDrain() was called.
+  bool draining() const;
+  /// Blocks until no admitted query is unfinished — after BeginDrain()
+  /// this is the "safe to stop the process" signal. Without a preceding
+  /// BeginDrain it still waits for a momentarily idle service, but new
+  /// Submits can race it.
+  void WaitIdle();
 
   /// Snapshot of the monotonic service counters.
   ServiceStats stats() const;
@@ -506,6 +434,11 @@ class OptimizerService {
   std::condition_variable done_cv_;  // Wait() blocks here.
   std::condition_variable waiters_cv_;  // Destructor drains Wait() calls.
   bool stop_ = false;
+  bool draining_ = false;  // BeginDrain(): admission closed for good.
+  // Unfinished queries per tenant (leaders + followers; cache hits never
+  // enter). Entries are erased at zero so the map tracks live tenants,
+  // not every tenant name ever seen.
+  std::unordered_map<std::string, int> tenant_inflight_;
   int waiters_ = 0;  // Threads currently inside Wait().
   // Per-id Wait() calls in progress; such results are not evicted.
   std::unordered_map<QueryId, int> wait_counts_;

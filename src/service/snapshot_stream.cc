@@ -1,0 +1,93 @@
+#include "service/snapshot_stream.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <utility>
+
+namespace moqo {
+
+SnapshotSubscription::SnapshotSubscription(size_t capacity)
+    : capacity_(capacity < 1 ? 1 : capacity) {}
+
+void SnapshotSubscription::Push(
+    std::shared_ptr<const FrontierSnapshot> snapshot, bool is_final) {
+  int wakeup_fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;  // Terminal stream: late pushes are no-ops.
+    uint64_t gap_for_new = 0;
+    if (queue_.size() >= capacity_) {
+      // Drop-oldest: the victim's gap (it may itself carry one) moves
+      // onto the next event still queued, so gaps stay ordered relative
+      // to the survivors; with nothing left queued it lands on the event
+      // being pushed. dropped_total_ counts each dropped event once —
+      // the victim's own carried gap was counted when it accrued.
+      SnapshotEvent victim = std::move(queue_.front());
+      queue_.pop_front();
+      const uint64_t gap = 1 + victim.dropped;
+      dropped_total_ += 1;
+      if (!queue_.empty()) {
+        queue_.front().dropped += gap;
+      } else {
+        gap_for_new = gap;
+      }
+    }
+    SnapshotEvent event;
+    event.sequence = next_sequence_++;
+    event.dropped = gap_for_new;
+    event.is_final = is_final;
+    event.snapshot = std::move(snapshot);
+    closed_ = is_final;
+    queue_.push_back(std::move(event));
+    wakeup_fd = wakeup_fd_;
+  }
+  cv_.notify_one();
+  if (wakeup_fd >= 0) {
+    // Eventfd-style poke; best effort. A full counter (EAGAIN) still
+    // leaves the fd readable, which is all the poller needs.
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wakeup_fd, &one, sizeof(one));
+  }
+}
+
+std::optional<SnapshotEvent> SnapshotSubscription::Poll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return std::nullopt;
+  SnapshotEvent event = std::move(queue_.front());
+  queue_.pop_front();
+  if (event.is_final) exhausted_ = true;
+  return event;
+}
+
+std::optional<SnapshotEvent> SnapshotSubscription::Next(double timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (queue_.empty()) {
+    if (exhausted_) return std::nullopt;
+    cv_.wait_for(lock,
+                 std::chrono::duration<double, std::milli>(timeout_ms),
+                 [this] { return !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+  }
+  SnapshotEvent event = std::move(queue_.front());
+  queue_.pop_front();
+  if (event.is_final) exhausted_ = true;
+  return event;
+}
+
+bool SnapshotSubscription::exhausted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return exhausted_;
+}
+
+uint64_t SnapshotSubscription::dropped_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_total_;
+}
+
+void SnapshotSubscription::SetWakeupFd(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wakeup_fd_ = fd;
+}
+
+}  // namespace moqo

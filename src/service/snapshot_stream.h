@@ -1,0 +1,126 @@
+/// \file
+/// Pull-based bounded snapshot streaming (the backpressure-safe side of
+/// the service API redesign).
+///
+/// The original streaming surface was a synchronous callback invoked by
+/// the scheduler shard between optimizer steps — which means a slow
+/// observer holds its shard's turn and every other run placed on that
+/// shard pays for it. A real network peer (a TCP client that stops
+/// reading) hits this immediately. SnapshotSubscription inverts the
+/// flow: the shard *pushes* into a small bounded per-subscriber queue
+/// (an O(1) operation that never blocks and never runs user code), and
+/// the consumer *pulls* at its own pace. When a consumer falls behind,
+/// the oldest undelivered snapshots are dropped and the gap is recorded
+/// on the next delivered event (SnapshotEvent::dropped), so a consumer
+/// always knows exactly how much of the stream it missed — anytime
+/// frontiers are cumulative, so the latest snapshot subsumes dropped
+/// older ones. The final event (the terminal frontier) is never dropped.
+///
+/// The scheduler shard is the producer; exactly one consumer at a time
+/// may poll. Producer and consumer synchronize only on the
+/// subscription's own mutex — never on the service mutex — so a stalled
+/// consumer cannot stall a scheduler shard, by construction
+/// (snapshot_stream_test pins this under TSan).
+#ifndef MOQO_SERVICE_SNAPSHOT_STREAM_H_
+#define MOQO_SERVICE_SNAPSHOT_STREAM_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "core/iama.h"
+
+namespace moqo {
+
+/// One delivered element of a query's snapshot stream.
+struct SnapshotEvent {
+  /// Position of this event in the stream, 1-based and strictly
+  /// increasing. Together with `dropped` a consumer can account for
+  /// every event ever produced: the previous delivered event's sequence
+  /// plus `dropped` plus one equals this event's sequence.
+  uint64_t sequence = 0;
+  /// Events discarded (drop-oldest overflow) immediately before this
+  /// one — the gap marker. 0 when the consumer kept up.
+  uint64_t dropped = 0;
+  /// True for the stream's last event: the run reached a terminal state
+  /// and `snapshot` is its final published frontier. After consuming a
+  /// final event the stream is exhausted for good.
+  bool is_final = false;
+  /// The frontier snapshot; shared with other subscribers of the same
+  /// run (and with the run's stored result for final events) — never
+  /// null, possibly empty for runs that never stepped.
+  std::shared_ptr<const FrontierSnapshot> snapshot;
+};
+
+/// A bounded single-producer single-consumer snapshot queue with
+/// drop-oldest overflow, created by OptimizerService::Submit when
+/// SubmitRequest::subscribe is set.
+///
+/// Producer side (the service): Push() and Close() never block and never
+/// invoke user code. Consumer side: Poll() (non-blocking) or Next()
+/// (blocking with timeout); optionally SetWakeupFd() to integrate with a
+/// poll()/epoll event loop — the network server wires an eventfd here so
+/// one connection thread can sleep on "socket readable or snapshots
+/// pending" without polling timers.
+class SnapshotSubscription {
+ public:
+  /// Creates a subscription holding at most `capacity` undelivered
+  /// events (clamped to >= 1). Small capacities favor freshness (anytime
+  /// frontiers are cumulative); large ones favor completeness.
+  explicit SnapshotSubscription(size_t capacity);
+
+  /// Not copyable: the queue is an identity (producer and consumer
+  /// reference the same instance).
+  SnapshotSubscription(const SnapshotSubscription&) = delete;
+  /// Not copy-assignable (same identity reasons).
+  SnapshotSubscription& operator=(const SnapshotSubscription&) = delete;
+
+  /// Producer side. Appends an event; when the queue is full the oldest
+  /// undelivered event is discarded and accounted on the new head's
+  /// `dropped` field. A final event closes the stream; pushes after a
+  /// final event are ignored (the stream is immutable once terminal).
+  /// O(1), never blocks on the consumer, never runs user code.
+  void Push(std::shared_ptr<const FrontierSnapshot> snapshot, bool is_final);
+
+  /// Consumer side. Removes and returns the oldest undelivered event, or
+  /// std::nullopt when none is pending right now.
+  std::optional<SnapshotEvent> Poll();
+
+  /// Consumer side. Like Poll(), but blocks up to `timeout_ms` for an
+  /// event to arrive. Returns std::nullopt on timeout or when the stream
+  /// is exhausted (final event already consumed).
+  std::optional<SnapshotEvent> Next(double timeout_ms);
+
+  /// True once the final event has been *consumed*: the stream is
+  /// exhausted and no further event will ever arrive.
+  bool exhausted() const;
+
+  /// Total events discarded by drop-oldest overflow so far (monotonic;
+  /// stable once the final event is pushed). Mirrored into
+  /// ServiceStats::snapshot_drops when the query finalizes.
+  uint64_t dropped_total() const;
+
+  /// Registers a file descriptor to be poked (a single 8-byte write,
+  /// best effort, EAGAIN ignored) on every Push — eventfd semantics.
+  /// Pass -1 to detach. The caller owns the descriptor and must keep it
+  /// open until detached or the subscription is destroyed.
+  void SetWakeupFd(int fd);
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<SnapshotEvent> queue_;
+  const size_t capacity_;
+  uint64_t next_sequence_ = 1;
+  uint64_t dropped_total_ = 0;
+  bool closed_ = false;     // Final event pushed.
+  bool exhausted_ = false;  // Final event consumed.
+  int wakeup_fd_ = -1;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_SERVICE_SNAPSHOT_STREAM_H_

@@ -17,6 +17,12 @@ const char* CodeName(StatusCode code) {
       return "FailedPrecondition";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kQuotaExceeded:
+      return "QuotaExceeded";
+    case StatusCode::kShedding:
+      return "Shedding";
+    case StatusCode::kDraining:
+      return "Draining";
   }
   return "Unknown";
 }
@@ -26,6 +32,11 @@ const char* CodeName(StatusCode code) {
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = CodeName(code_);
+  if (retry_after_ms_ > 0) {
+    out += " (retry after ";
+    out += std::to_string(retry_after_ms_);
+    out += " ms)";
+  }
   if (!message_.empty()) {
     out += ": ";
     out += message_;

@@ -13,7 +13,13 @@
 namespace moqo {
 
 // Error categories. Kept deliberately small; code should branch on ok()
-// in almost all cases and use the category only for reporting.
+// in almost all cases and use the category only for reporting — with one
+// exception: the serving layer's admission taxonomy (kQuotaExceeded,
+// kShedding, kDraining) is part of the service API contract. Every
+// rejection path returns a distinct code, clients are expected to branch
+// on it (retry elsewhere vs. back off vs. give up), and the codes
+// round-trip through the network wire protocol byte for byte
+// (docs/NETWORK_API.md).
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument = 1,
@@ -21,14 +27,26 @@ enum class StatusCode {
   kOutOfRange = 3,
   kFailedPrecondition = 4,
   kInternal = 5,
+  // Admission-control taxonomy (service API; see OptimizerService):
+  kQuotaExceeded = 6,  // The caller's tenant is at its in-flight quota.
+  kShedding = 7,       // Service over capacity; retry after retry_after_ms.
+  kDraining = 8,       // Service draining for restart; resubmit elsewhere.
 };
 
 // Value-type status word. Cheap to copy when OK (no allocation).
+//
+// Backpressure statuses (kShedding; any code, in principle) may carry a
+// retry-after hint: the server's estimate of when capacity frees up.
+// 0 means "no hint". The hint survives the wire protocol round trip.
 class Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
+  Status(StatusCode code, std::string message, uint64_t retry_after_ms)
+      : code_(code),
+        retry_after_ms_(retry_after_ms),
+        message_(std::move(message)) {}
 
   static Status OK() { return Status(); }
   static Status InvalidArgument(std::string msg) {
@@ -46,16 +64,29 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status QuotaExceeded(std::string msg) {
+    return Status(StatusCode::kQuotaExceeded, std::move(msg));
+  }
+  static Status Shedding(std::string msg, uint64_t retry_after_ms) {
+    return Status(StatusCode::kShedding, std::move(msg), retry_after_ms);
+  }
+  static Status Draining(std::string msg) {
+    return Status(StatusCode::kDraining, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+  // Backoff hint in milliseconds; 0 = none. Meaningful for kShedding.
+  uint64_t retry_after_ms() const { return retry_after_ms_; }
 
-  // Human-readable one-line rendering, e.g. "InvalidArgument: bad bounds".
+  // Human-readable one-line rendering, e.g. "InvalidArgument: bad bounds"
+  // or "Shedding (retry after 50 ms): over capacity".
   std::string ToString() const;
 
  private:
   StatusCode code_;
+  uint64_t retry_after_ms_ = 0;
   std::string message_;
 };
 

@@ -1,0 +1,43 @@
+#!/bin/sh
+# Smoke test for the serving stack: boots optimizerd on an ephemeral
+# port, drives it with loadgen over real TCP, then checks graceful
+# drain — SIGTERM must finish in-flight work and exit 0.
+#
+# Usage: optimizerd_smoke.sh <build-dir>
+# Registered by CMake as the ctest case `optimizerd_smoke` (only when
+# MOQO_BUILD_EXAMPLES is ON, since it runs the example binaries).
+set -eu
+
+BUILD_DIR="${1:?usage: optimizerd_smoke.sh <build-dir>}"
+LOG="$(mktemp)"
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
+
+"$BUILD_DIR/optimizerd" --port 0 --threads 2 --shards 2 \
+  --max-inflight 16 --quota smoke=8:2 > "$LOG" &
+SERVER_PID=$!
+
+# The single startup line carries the ephemeral port.
+PORT=""
+i=0
+while [ $i -lt 100 ]; do
+  PORT="$(sed -n 's/^optimizerd: listening on .*:\([0-9][0-9]*\)$/\1/p' "$LOG")"
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$LOG"; echo "FAIL: optimizerd died on startup"; exit 1; }
+  sleep 0.1
+  i=$((i + 1))
+done
+[ -n "$PORT" ] || { cat "$LOG"; echo "FAIL: no listening line"; exit 1; }
+
+"$BUILD_DIR/loadgen" --port "$PORT" --sessions 4 --queries 2 \
+  --tenants 2 --max-iterations 8 --json || {
+  echo "FAIL: loadgen reported transport errors"; exit 1;
+}
+
+# Graceful drain: SIGTERM, then the process must exit 0 by itself and
+# report the drain summary.
+kill -TERM "$SERVER_PID"
+STATUS=0
+wait "$SERVER_PID" || STATUS=$?
+[ "$STATUS" -eq 0 ] || { cat "$LOG"; echo "FAIL: exit status $STATUS"; exit 1; }
+grep -q "optimizerd: drained\." "$LOG" || { cat "$LOG"; echo "FAIL: no drain summary"; exit 1; }
+echo "PASS: optimizerd smoke"
