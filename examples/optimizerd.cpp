@@ -5,7 +5,8 @@
 //
 // Usage:
 //   ./build/optimizerd [--port P] [--host H] [--threads N] [--shards N]
-//                      [--max-inflight N] [--shed-hint-ms D]
+//                      [--max-inflight N] [--max-iterations N]
+//                      [--shed-hint-ms D]
 //                      [--quota TENANT=MAX[:WEIGHT]] [--default-quota MAX[:WEIGHT]]
 //                      [--max-connections N] [--fragment-cache-mb M]
 //
@@ -15,6 +16,10 @@
 //   --shards N         scheduler shards (default 2)
 //   --max-inflight N   run-count bound; beyond it submits are load-shed
 //                      with kShedding + retry-after (default 64; 0 = off)
+//   --max-iterations N per-submission step ceiling; larger requests are
+//                      rejected with kInvalidArgument so one client
+//                      cannot park a near-infinite run in an in-flight
+//                      slot (default 100000; 0 = off)
 //   --shed-hint-ms D   retry-after hint per queued run (default 25)
 //   --quota T=M[:W]    per-tenant in-flight quota and fair-share weight;
 //                      repeatable (e.g. --quota gold=32:4 --quota free=2)
@@ -58,6 +63,7 @@ int main(int argc, char** argv) {
   service_options.num_threads = 4;
   service_options.num_shards = 2;
   service_options.max_inflight_runs = 64;
+  service_options.max_iterations_limit = 100000;
   service_options.fragment_cache_bytes = 16u << 20;
   net::ServerOptions server_options;
 
@@ -81,6 +87,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-inflight") {
       service_options.max_inflight_runs =
           static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--max-iterations") {
+      service_options.max_iterations_limit = std::atoi(next());
     } else if (arg == "--shed-hint-ms") {
       service_options.shed_retry_hint_ms = std::atof(next());
     } else if (arg == "--quota") {

@@ -10,6 +10,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstdio>
+
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -147,7 +149,30 @@ void OptimizerServer::AcceptLoop() {
     const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
-      return;  // Listener closed (shutdown) or unrecoverable.
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Resource exhaustion is transient (fds free up as connections
+        // drain): keep the daemon accepting rather than silently
+        // wedging it. Back off on the stop pipe so Shutdown stays
+        // prompt even while the retry loop spins.
+        std::fprintf(stderr,
+                     "OptimizerServer: accept4: %s (transient, retrying)\n",
+                     strerror(errno));
+        pollfd stop = {stop_pipe_[0], POLLIN, 0};
+        if (::poll(&stop, 1, /*timeout_ms=*/100) > 0) return;
+        continue;
+      }
+      {
+        // Shutdown tears the listener down under us (shutdown(2) on
+        // listen_fd_); that exit is expected and silent.
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopped_) return;
+      }
+      std::fprintf(stderr,
+                   "OptimizerServer: accept4: %s (fatal, acceptor exiting; "
+                   "no further connections will be served)\n",
+                   strerror(errno));
+      return;
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -197,7 +222,15 @@ void OptimizerServer::ServeConnection(Conn* conn) {
   // path (cancel orphaned runs, close fds, mark the slot reapable) is
   // written once.
   auto cleanup = [&] {
-    for (auto& [id, run] : runs) service_->Cancel(id);
+    for (auto& [id, run] : runs) {
+      // Detach the wakeup fd before cancelling: cancellation finalizes
+      // the run on a later scheduler turn, and that finalization's Push
+      // must not poke a descriptor this thread is about to close (the
+      // subscription owns a dup, so detaching here closes the last
+      // reference it holds).
+      run.subscription->SetWakeupFd(-1);
+      service_->Cancel(id);
+    }
     runs.clear();
     {
       // Mark reapable before closing: once done is set (under mu_),

@@ -216,7 +216,15 @@ Status DecodeSubmit(const Frame& frame, uint64_t* tag,
   // get — the decoder only guards memory safety, not semantics.
   request->priority = static_cast<int>(priority);
   request->max_iterations = static_cast<int>(max_iterations);
-  request->subscription_capacity = capacity;
+  // Clamp, don't reject: an oversized capacity only asks for more
+  // buffering than the server is willing to pin per subscriber, and
+  // drop-oldest + gap markers already define the behavior at any
+  // capacity. max_iterations stays unclamped here — its ceiling is an
+  // admission policy (ServiceOptions::max_iterations_limit) with its
+  // own taxonomy code, not a memory-safety concern of the codec.
+  request->subscription_capacity =
+      capacity > kMaxWireSubscriptionCapacity ? kMaxWireSubscriptionCapacity
+                                              : capacity;
   *stream = (flags & 1) != 0;
   // The server tracks every run through a subscription regardless of
   // whether the client wants the snapshots forwarded.

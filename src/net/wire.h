@@ -41,6 +41,14 @@ inline constexpr uint32_t kWireVersion = 1;
 /// allocating unbounded buffers on a corrupt or hostile length prefix.
 inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
 
+/// Server-side ceiling on SubmitRequest::subscription_capacity arriving
+/// over the wire; larger requests are silently clamped by DecodeSubmit.
+/// The capacity is a freshness/completeness knob, not a correctness
+/// one (anytime frontiers are cumulative), but each queued event pins a
+/// deep FrontierSnapshot copy in server memory — an unclamped u32 from
+/// a stalled hostile client would defeat the bounded-queue guarantee.
+inline constexpr uint32_t kMaxWireSubscriptionCapacity = 1024;
+
 /// Frame type byte. Client-to-server types are < 16, server-to-client
 /// types >= 16. Unknown types are a protocol error.
 enum class MsgType : uint8_t {

@@ -301,6 +301,15 @@ StatusOr<SubmitResponse> OptimizerService::Submit(SubmitRequest request) {
   }
 
   const int max_iterations = ResolvedMaxIterations(request);
+  if (options_.max_iterations_limit > 0 &&
+      max_iterations > options_.max_iterations_limit) {
+    // Checked on the resolved value so a schedule-derived step count is
+    // bounded too, not just an explicit request.
+    return Status::InvalidArgument(
+        "max_iterations " + std::to_string(max_iterations) +
+        " exceeds the service limit of " +
+        std::to_string(options_.max_iterations_limit));
+  }
   // Tenant quota and fair-share weight (options_ is immutable after
   // construction, so the lookup needs no lock). The weight scales the
   // round-robin turn length — scheduling only, never the frontier.

@@ -179,6 +179,15 @@ struct ServiceOptions {
   /// times the number of runs currently waiting in shard queues (at
   /// least 1) — a crude but monotone estimate of backlog drain time.
   double shed_retry_hint_ms = 25.0;
+  /// Ceiling on one submission's total session steps (the resolved
+  /// max_iterations — an explicit request or the schedule's level
+  /// count); submissions above it are rejected with kInvalidArgument.
+  /// Admission backpressure (max_inflight_runs / kShedding) bounds how
+  /// many runs exist, but not how long each occupies its slot — without
+  /// this ceiling a network client can park a near-infinite run in a
+  /// slot and starve admission for everyone. 0 = unlimited (in-process/
+  /// test use); optimizerd sets a bound by default.
+  int max_iterations_limit = 0;
   /// Admission limits for tenants without an entry in `tenant_quotas`.
   TenantQuota default_quota;
   /// Per-tenant admission limits and fair-share weights, keyed by

@@ -1,5 +1,6 @@
 #include "service/snapshot_stream.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -10,9 +11,12 @@ namespace moqo {
 SnapshotSubscription::SnapshotSubscription(size_t capacity)
     : capacity_(capacity < 1 ? 1 : capacity) {}
 
+SnapshotSubscription::~SnapshotSubscription() {
+  if (wakeup_fd_ >= 0) ::close(wakeup_fd_);
+}
+
 void SnapshotSubscription::Push(
     std::shared_ptr<const FrontierSnapshot> snapshot, bool is_final) {
-  int wakeup_fd = -1;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) return;  // Terminal stream: late pushes are no-ops.
@@ -40,15 +44,19 @@ void SnapshotSubscription::Push(
     event.snapshot = std::move(snapshot);
     closed_ = is_final;
     queue_.push_back(std::move(event));
-    wakeup_fd = wakeup_fd_;
+    if (wakeup_fd_ >= 0) {
+      // Eventfd-style poke; best effort. A full counter (EAGAIN) still
+      // leaves the fd readable, which is all the poller needs. Written
+      // under mu_ so a concurrent SetWakeupFd(-1) cannot close the
+      // descriptor between capture and write — and since wakeup_fd_ is
+      // our own dup, the number can never have been recycled by an
+      // unrelated open either. The fd is non-blocking by contract, so
+      // holding the lock across the write never stalls the producer.
+      const uint64_t one = 1;
+      [[maybe_unused]] ssize_t n = ::write(wakeup_fd_, &one, sizeof(one));
+    }
   }
   cv_.notify_one();
-  if (wakeup_fd >= 0) {
-    // Eventfd-style poke; best effort. A full counter (EAGAIN) still
-    // leaves the fd readable, which is all the poller needs.
-    const uint64_t one = 1;
-    [[maybe_unused]] ssize_t n = ::write(wakeup_fd, &one, sizeof(one));
-  }
 }
 
 std::optional<SnapshotEvent> SnapshotSubscription::Poll() {
@@ -86,8 +94,16 @@ uint64_t SnapshotSubscription::dropped_total() const {
 }
 
 void SnapshotSubscription::SetWakeupFd(int fd) {
+  // Own a dup of the caller's descriptor: once attached, the poke in
+  // Push targets a descriptor only this subscription can close, so the
+  // caller closing (and the kernel recycling) its original can never
+  // redirect a poke into an unrelated fd. Dup failure (fd exhaustion)
+  // degrades to an unpoked subscription rather than an error.
+  int owned = -1;
+  if (fd >= 0) owned = ::fcntl(fd, F_DUPFD_CLOEXEC, 0);
   std::lock_guard<std::mutex> lock(mu_);
-  wakeup_fd_ = fd;
+  if (wakeup_fd_ >= 0) ::close(wakeup_fd_);
+  wakeup_fd_ = owned;
 }
 
 }  // namespace moqo

@@ -72,6 +72,9 @@ class SnapshotSubscription {
   /// frontiers are cumulative); large ones favor completeness.
   explicit SnapshotSubscription(size_t capacity);
 
+  /// Closes the owned wakeup descriptor, if any (see SetWakeupFd).
+  ~SnapshotSubscription();
+
   /// Not copyable: the queue is an identity (producer and consumer
   /// reference the same instance).
   SnapshotSubscription(const SnapshotSubscription&) = delete;
@@ -105,8 +108,15 @@ class SnapshotSubscription {
 
   /// Registers a file descriptor to be poked (a single 8-byte write,
   /// best effort, EAGAIN ignored) on every Push — eventfd semantics.
-  /// Pass -1 to detach. The caller owns the descriptor and must keep it
-  /// open until detached or the subscription is destroyed.
+  /// Pass a *non-blocking* descriptor: the poke happens while the
+  /// subscription mutex is held, so it can never race a concurrent
+  /// detach or hit a descriptor number the kernel recycled — but a
+  /// blocking fd would stall the producer. The subscription dup()s the
+  /// descriptor and owns its copy; the caller keeps ownership of the
+  /// original and may close it at any time. Pass -1 to detach (closes
+  /// the owned copy); the destructor detaches implicitly. If the dup
+  /// fails (fd exhaustion) the subscription runs unpoked — consumers
+  /// fall back to Poll()/Next() pacing.
   void SetWakeupFd(int fd);
 
  private:
@@ -118,7 +128,7 @@ class SnapshotSubscription {
   uint64_t dropped_total_ = 0;
   bool closed_ = false;     // Final event pushed.
   bool exhausted_ = false;  // Final event consumed.
-  int wakeup_fd_ = -1;
+  int wakeup_fd_ = -1;      // Owned dup (guarded by mu_); -1 = detached.
 };
 
 }  // namespace moqo

@@ -86,6 +86,34 @@ TEST(WireCodecTest, SubmitRoundTripsExactly) {
   }
 }
 
+TEST(WireCodecTest, DecodeSubmitClampsHostileSubscriptionCapacity) {
+  // A stalled client requesting a u32-max capacity would pin one deep
+  // FrontierSnapshot per step in server memory; the decoder clamps the
+  // knob to the server-side ceiling instead of trusting the wire.
+  SubmitRequest in;
+  QueryBuilder b("hostile");
+  b.AddTable(0, 1.0);
+  in.query = b.Build();
+  in.subscribe = true;
+  in.subscription_capacity = 0xFFFFFFFFu;
+
+  Frame frame;
+  frame.type = static_cast<uint8_t>(MsgType::kSubmit);
+  frame.payload = net::EncodeSubmit(1, in);
+  uint64_t tag = 0;
+  SubmitRequest out;
+  bool stream = false;
+  ASSERT_TRUE(net::DecodeSubmit(frame, &tag, &out, &stream).ok());
+  EXPECT_EQ(out.subscription_capacity, net::kMaxWireSubscriptionCapacity);
+
+  // In-range capacities pass through untouched (the round-trip test
+  // pins small values; this pins the boundary).
+  in.subscription_capacity = net::kMaxWireSubscriptionCapacity;
+  frame.payload = net::EncodeSubmit(2, in);
+  ASSERT_TRUE(net::DecodeSubmit(frame, &tag, &out, &stream).ok());
+  EXPECT_EQ(out.subscription_capacity, net::kMaxWireSubscriptionCapacity);
+}
+
 TEST(WireCodecTest, ResultRoundTripsBitExactly) {
   QueryResult in;
   in.id = 99;
@@ -458,6 +486,31 @@ TEST(NetServerTest, SheddingCarriesRetryAfterHint) {
   ASSERT_TRUE(client.Wait(first.value().id).ok());
   ASSERT_TRUE(client.Wait(duplicate.value().id).ok());
   EXPECT_EQ(remote.service->stats().shed, 1u);
+}
+
+TEST(NetServerTest, IterationLimitRejectsOverTheWire) {
+  // Shedding bounds how many runs exist; max_iterations_limit bounds
+  // how long each occupies its slot. Without it a hostile client could
+  // park a near-infinite run in an in-flight slot and starve admission.
+  ServiceOptions service_options;
+  service_options.max_iterations_limit = 50;
+  TestServer remote(service_options);
+  OptimizerClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", remote.server->port()).ok());
+
+  SubmitRequest request;
+  request.query = SmallQuery(remote.catalog);
+  request.max_iterations = 1000000000;
+  StatusOr<SubmitResponse> rejected = client.Submit(request);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+
+  request.max_iterations = 4;
+  StatusOr<SubmitResponse> admitted = client.Submit(request);
+  ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+  StatusOr<QueryResult> result = client.Wait(admitted.value().id);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().state, QueryState::kDone);
 }
 
 TEST(NetServerTest, DrainRejectsNewWorkFinishesOldWork) {

@@ -298,6 +298,31 @@ TEST(OptimizerServiceTest, RejectsInvalidSubmissions) {
   EXPECT_EQ(service.stats().submitted, 0u);
 }
 
+TEST(OptimizerServiceTest, MaxIterationsLimitBoundsRunLength) {
+  const Workload w = MakeWorkload(/*num_random=*/0);
+  ServiceOptions options = SmallServiceOptions(1);
+  options.max_iterations_limit = 8;
+  OptimizerService service(w.catalog, options);
+
+  // Above the ceiling: rejected at admission with the taxonomy's
+  // kInvalidArgument, before any run slot is consumed.
+  SubmitRequest over;
+  over.query = w.queries.front();
+  over.max_iterations = 9;
+  StatusOr<SubmitResponse> rejected = service.Submit(std::move(over));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.stats().submitted, 0u);
+
+  // At the ceiling: admitted and runs to completion as usual.
+  SubmitRequest at_limit;
+  at_limit.query = w.queries.front();
+  at_limit.max_iterations = 8;
+  StatusOr<SubmitResponse> admitted = service.Submit(std::move(at_limit));
+  ASSERT_TRUE(admitted.ok());
+  EXPECT_EQ(service.Wait(admitted.value().id).state, QueryState::kDone);
+}
+
 TEST(OptimizerServiceTest, WaitOnUnknownIdReturnsInvalidResult) {
   const Workload w = MakeWorkload(/*num_random=*/0);
   OptimizerService service(w.catalog, SmallServiceOptions(1));

@@ -5,6 +5,8 @@
 // binary to pin the producer/consumer synchronization.
 #include "service/snapshot_stream.h"
 
+#include <errno.h>
+#include <fcntl.h>
 #include <sys/eventfd.h>
 #include <unistd.h>
 
@@ -147,6 +149,43 @@ TEST(SnapshotStreamTest, WakeupFdPokedOnPush) {
             static_cast<ssize_t>(sizeof(count)));
   EXPECT_EQ(count, 2u);  // One poke per push.
   ::close(efd);
+}
+
+TEST(SnapshotStreamTest, DetachStopsPokes) {
+  const int efd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  ASSERT_GE(efd, 0);
+  SnapshotSubscription sub(4);
+  sub.SetWakeupFd(efd);
+  sub.SetWakeupFd(-1);  // Detach closes the subscription's owned dup.
+  sub.Push(Snap(1), false);
+  uint64_t count = 0;
+  EXPECT_EQ(::read(efd, &count, sizeof(count)), -1);
+  EXPECT_EQ(errno, EAGAIN);  // No poke landed after the detach.
+  ::close(efd);
+}
+
+TEST(SnapshotStreamTest, PokeNeverHitsARecycledDescriptor) {
+  // The network-server hazard: the caller closes its wakeup fd and the
+  // kernel recycles the number into an unrelated file before a deferred
+  // finalization pushes. The subscription pokes its own dup, so the
+  // recycled descriptor must stay untouched.
+  const int efd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  ASSERT_GE(efd, 0);
+  SnapshotSubscription sub(4);
+  sub.SetWakeupFd(efd);
+  ::close(efd);  // Caller drops its descriptor; the dup keeps the object.
+  int pipe_fds[2];
+  ASSERT_EQ(::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC), 0);
+  // POSIX hands out the lowest free descriptor, so one pipe end
+  // recycles efd's number — the stand-in for a newly accepted socket.
+  ASSERT_TRUE(pipe_fds[0] == efd || pipe_fds[1] == efd);
+  sub.Push(Snap(1), false);
+  char buf[8];
+  EXPECT_EQ(::read(pipe_fds[0], buf, sizeof(buf)), -1);
+  EXPECT_EQ(errno, EAGAIN);  // The pipe saw no stray 8-byte write.
+  ASSERT_TRUE(sub.Poll().has_value());  // The push itself still landed.
+  ::close(pipe_fds[0]);
+  ::close(pipe_fds[1]);
 }
 
 // --- Service integration: the subscription path end to end. ---
