@@ -25,14 +25,14 @@ void SortBatch(std::vector<BatchEntry>& batch) {
   const int dims = batch[0].cost.dims();
   CostVector scale(dims, 0.0);
   for (const BatchEntry& e : batch) {
-    for (int i = 0; i < dims; ++i) scale[i] += e.cost[i];
+    for (int i = 0; i < dims; ++i) scale[i] += e.cost.at(i);
   }
   for (int i = 0; i < dims; ++i) {
     scale[i] = scale[i] > 0.0 ? batch.size() / scale[i] : 0.0;
   }
   for (BatchEntry& e : batch) {
     double score = 0.0;
-    for (int i = 0; i < dims; ++i) score += e.cost[i] * scale[i];
+    for (int i = 0; i < dims; ++i) score += e.cost.at(i) * scale.at(i);
     e.score = score;
   }
   std::sort(batch.begin(), batch.end(),
@@ -126,6 +126,13 @@ void IncrementalOptimizer::SeedFragments(const CostVector& initial_bounds) {
           options_.fragment_store->Lookup(q, needed);
       if (!seed.has_value()) continue;
       CellIndex& res = res_.For(q);
+      // Plain chronological replay: the first insert per cell creates it,
+      // so the cell index's creation order — and hence every downstream
+      // iteration order — matches the donor's without any pre-pass. The
+      // banks grow geometrically through the arena; the abandoned blocks
+      // (a small multiple of the final lane bytes, reclaimed wholesale at
+      // the next epoch reset) are far cheaper than per-plan bookkeeping
+      // on this hot warm-start path.
       for (const FragmentPlan& p : seed->plans) {
         const PlanId id =
             arena_.AddFragment(q, p.op, p.cost, p.output_rows, p.order);

@@ -22,9 +22,9 @@ PruneOutcome Prune(CellIndex& result_set, CellIndex& candidate_set,
   const CostVector approx_box = cost.Scaled(alpha_r).Min(bounds);
   uint64_t* checks =
       counters != nullptr ? &counters->dominance_checks : nullptr;
-  const CellIndex::Entry* dominator = result_set.FindInRange(
-      approx_box, compare_resolution, checks, /*required_order=*/order);
-  if (dominator != nullptr) {
+  CellIndex::Entry dominator;
+  if (result_set.FindInRange(approx_box, compare_resolution, &dominator,
+                             checks, /*required_order=*/order)) {
     // Approximated at the current resolution: keep as candidate for a
     // finer resolution, or discard when no resolution can need it.
     int park_level = -1;
@@ -36,10 +36,11 @@ PruneOutcome Prune(CellIndex& result_set, CellIndex& candidate_set,
       // the exact factor with which the found dominator covers it.
       double alpha_star = 0.0;
       for (int i = 0; i < cost.dims(); ++i) {
-        if (cost[i] > 0.0) {
-          alpha_star = std::max(alpha_star, dominator->cost[i] / cost[i]);
+        if (cost.at(i) > 0.0) {
+          alpha_star =
+              std::max(alpha_star, dominator.cost.at(i) / cost.at(i));
         }
-        // cost[i] == 0 implies dominator->cost[i] == 0 (it passed the
+        // cost[i] == 0 implies dominator.cost[i] == 0 (it passed the
         // range query against α_r * 0): no constraint from this metric.
       }
       for (int level = resolution + 1; level <= max_resolution; ++level) {

@@ -55,32 +55,6 @@ CostVector CostVector::Max(const CostVector& other) const {
   return out;
 }
 
-bool CostVector::Dominates(const CostVector& other) const {
-  MOQO_CHECK(dims_ == other.dims_);
-  for (int i = 0; i < dims_; ++i) {
-    if (values_[i] > other.values_[i]) return false;
-  }
-  return true;
-}
-
-bool CostVector::StrictlyDominates(const CostVector& other) const {
-  MOQO_CHECK(dims_ == other.dims_);
-  bool strict = false;
-  for (int i = 0; i < dims_; ++i) {
-    if (values_[i] > other.values_[i]) return false;
-    if (values_[i] < other.values_[i]) strict = true;
-  }
-  return strict;
-}
-
-bool CostVector::Equals(const CostVector& other) const {
-  if (dims_ != other.dims_) return false;
-  for (int i = 0; i < dims_; ++i) {
-    if (values_[i] != other.values_[i]) return false;
-  }
-  return true;
-}
-
 std::string CostVector::ToString() const {
   std::string out = "[";
   for (int i = 0; i < dims_; ++i) {

@@ -47,6 +47,20 @@ class CostVector {
     return values_[i];
   }
 
+  // Unchecked element access for hot loops (dominance checks, cell-key
+  // computation, kernel lane fills). Bounds are MOQO_DCHECKed in debug
+  // builds only; release builds compile to a bare load.
+  double at(int i) const {
+    MOQO_DCHECK(i >= 0 && i < dims_);
+    return values_[i];
+  }
+  // The contiguous component array (dims() live values). Used to hand a
+  // vector to the batched kernel primitives without per-element calls;
+  // the mutable overload lets lane gathers fill a vector without
+  // per-element bounds checks.
+  const double* data() const { return values_; }
+  double* data() { return values_; }
+
   // True if every component is finite.
   bool IsFinite() const;
   // True if every component is >= 0 (cost values are never negative).
@@ -61,12 +75,34 @@ class CostVector {
 
   // "c ⪯ other": this vector dominates `other`, i.e. is lower-or-equal in
   // every component (paper §3: plan with cost c is at least as good).
-  bool Dominates(const CostVector& other) const;
+  // Inline and branch-light: this is the scalar reference the batched
+  // kernel primitives (pareto/kernel.h) are asserted bit-identical to.
+  bool Dominates(const CostVector& other) const {
+    MOQO_DCHECK(dims_ == other.dims_);
+    for (int i = 0; i < dims_; ++i) {
+      if (values_[i] > other.values_[i]) return false;
+    }
+    return true;
+  }
   // "c ≺ other": dominates and strictly lower in at least one component.
-  bool StrictlyDominates(const CostVector& other) const;
+  bool StrictlyDominates(const CostVector& other) const {
+    MOQO_DCHECK(dims_ == other.dims_);
+    bool strict = false;
+    for (int i = 0; i < dims_; ++i) {
+      if (values_[i] > other.values_[i]) return false;
+      if (values_[i] < other.values_[i]) strict = true;
+    }
+    return strict;
+  }
 
   // Exact component-wise equality.
-  bool Equals(const CostVector& other) const;
+  bool Equals(const CostVector& other) const {
+    if (dims_ != other.dims_) return false;
+    for (int i = 0; i < dims_; ++i) {
+      if (values_[i] != other.values_[i]) return false;
+    }
+    return true;
+  }
 
   // "[12.5, 3, 0.01]" rendering for logs and test failures.
   std::string ToString() const;

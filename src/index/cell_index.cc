@@ -12,7 +12,8 @@ constexpr int kMaxBucket = 127;   // +infinity bounds.
 
 }  // namespace
 
-CellIndex::CellIndex(int dims, double gamma) : dims_(dims) {
+CellIndex::CellIndex(int dims, double gamma, BankArena* arena)
+    : dims_(dims), arena_(arena) {
   MOQO_CHECK(dims >= 1 && dims <= kMaxMetrics);
   MOQO_CHECK(gamma > 1.0);
   inv_log_gamma_ = 1.0 / std::log(gamma);
@@ -36,7 +37,7 @@ CellIndex::Key CellIndex::MakeKey(const CostVector& cost, int resolution,
             (static_cast<Key>(order) << 48);
   for (int i = 0; i < dims_; ++i) {
     const unsigned byte =
-        static_cast<unsigned>(Bucket(cost[i]) + kBucketBias);
+        static_cast<unsigned>(Bucket(cost.at(i)) + kBucketBias);
     key |= static_cast<Key>(byte & 0xFFu) << (8 * i);
   }
   return key;
@@ -70,50 +71,140 @@ CellIndex::CellRelation CellIndex::Classify(Key cell, Key bound,
   return inside ? CellRelation::kInside : CellRelation::kBoundary;
 }
 
-bool CellIndex::InRange(const Entry& e, const CostVector& bounds,
-                        int max_res) const {
-  if (e.resolution > max_res) return false;
-  return e.cost.Dominates(bounds);
+// --- KeyMap ----------------------------------------------------------------
+
+size_t CellIndex::KeyMap::Mix(Key key) {
+  // splitmix64 finalizer: the packed keys differ in few low bytes, so
+  // identity hashing would cluster badly under linear probing.
+  uint64_t z = key + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return static_cast<size_t>(z ^ (z >> 31));
+}
+
+uint32_t CellIndex::KeyMap::Find(Key key) const {
+  if (count_ == 0) return kKernelNpos;
+  size_t i = Mix(key) & mask_;
+  while (slots_[i] != kKernelNpos) {
+    if (keys_[i] == key) return slots_[i];
+    i = (i + 1) & mask_;
+  }
+  return kKernelNpos;
+}
+
+void CellIndex::KeyMap::Insert(Key key, uint32_t slot) {
+  // Grow at 7/8 load; the table starts at 16 slots.
+  if ((count_ + 1) * 8 > (mask_ + 1) * 7 || slots_.empty()) {
+    Rehash(slots_.empty() ? 16 : (mask_ + 1) * 2);
+  }
+  size_t i = Mix(key) & mask_;
+  while (slots_[i] != kKernelNpos) {
+    MOQO_DCHECK(keys_[i] != key);
+    i = (i + 1) & mask_;
+  }
+  keys_[i] = key;
+  slots_[i] = slot;
+  ++count_;
+}
+
+void CellIndex::KeyMap::Rehash(size_t capacity) {
+  std::vector<Key> old_keys = std::move(keys_);
+  std::vector<uint32_t> old_slots = std::move(slots_);
+  keys_.assign(capacity, 0);
+  slots_.assign(capacity, kKernelNpos);
+  mask_ = capacity - 1;
+  for (size_t i = 0; i < old_slots.size(); ++i) {
+    if (old_slots[i] == kKernelNpos) continue;
+    size_t j = Mix(old_keys[i]) & mask_;
+    while (slots_[j] != kKernelNpos) j = (j + 1) & mask_;
+    keys_[j] = old_keys[i];
+    slots_[j] = old_slots[i];
+  }
+}
+
+void CellIndex::KeyMap::Clear() {
+  keys_.clear();
+  slots_.clear();
+  count_ = 0;
+  mask_ = 0;
+}
+
+// --- CellIndex -------------------------------------------------------------
+
+CellIndex::Cell& CellIndex::CellFor(const CostVector& cost, int resolution,
+                                    int order) {
+  const Key key = MakeKey(cost, resolution, order);
+  uint32_t slot = map_.Find(key);
+  if (slot == kKernelNpos) {
+    slot = static_cast<uint32_t>(cells_.size());
+    cells_.emplace_back();
+    Cell& cell = cells_.back();
+    cell.key = key;
+    cell.bank = CostBank(dims_, arena_);
+    cell.resolution = static_cast<uint8_t>(resolution);
+    cell.order = static_cast<uint8_t>(order);
+    map_.Insert(key, slot);
+  }
+  return cells_[slot];
+}
+
+const CellIndex::Entry& CellIndex::MaterializeEntry(const Cell& cell,
+                                                    size_t i,
+                                                    Entry* e) const {
+  const Payload& p = cell.entries[i];
+  e->id = p.id;
+  e->last_visible = p.last_visible;
+  e->cost = CostVector(dims_);
+  double* c = e->cost.data();
+  for (int d = 0; d < dims_; ++d) c[d] = cell.bank.At(i, d);
+  e->resolution = cell.resolution;
+  e->order = cell.order;
+  e->delta = p.delta != 0;
+  return *e;
 }
 
 void CellIndex::Insert(uint32_t id, const CostVector& cost, int resolution,
                        uint32_t invocation, int order) {
   MOQO_CHECK(cost.IsFinite());
   MOQO_CHECK(cost.IsNonNegative());
-  Entry e;
-  e.id = id;
-  e.last_visible = invocation;
-  e.cost = cost;
-  e.resolution = static_cast<uint8_t>(resolution);
-  e.order = static_cast<uint8_t>(order);
-  e.delta = true;
-  cells_[MakeKey(cost, resolution, order)].push_back(e);
+  Cell& cell = CellFor(cost, resolution, order);
+  cell.bank.PushBack(cost.data());
+  if (MOQO_PREDICT_FALSE(cell.entries.capacity() < cell.bank.capacity())) {
+    // Keep the payload lane's growth in lockstep with the bank's padded
+    // doubling: one reallocation per growth step for both arrays.
+    cell.entries.reserve(cell.bank.capacity());
+  }
+  cell.entries.push_back({id, invocation, 1});
   ++size_;
 }
 
 bool CellIndex::AnyInRange(const CostVector& bounds, int max_res,
                            uint64_t* checked, int required_order) const {
-  return FindInRange(bounds, max_res, checked, required_order) != nullptr;
+  return FindInRange(bounds, max_res, /*out=*/nullptr, checked,
+                     required_order);
 }
 
-const CellIndex::Entry* CellIndex::FindInRange(const CostVector& bounds,
-                                               int max_res,
-                                               uint64_t* checked,
-                                               int required_order) const {
+bool CellIndex::FindInRange(const CostVector& bounds, int max_res,
+                            Entry* out, uint64_t* checked,
+                            int required_order) const {
   const Key bound_key = BoundKey(bounds, max_res);
-  for (const auto& [key, cell] : cells_) {
-    const CellRelation rel = Classify(key, bound_key, required_order);
+  for (const Cell& cell : cells_) {
+    if (cell.size() == 0) continue;
+    const CellRelation rel = Classify(cell.key, bound_key, required_order);
     if (rel == CellRelation::kOutside) continue;
     if (rel == CellRelation::kInside) {
-      if (!cell.empty()) return &cell.front();
-      continue;
+      if (out != nullptr) MaterializeEntry(cell, 0, out);
+      return true;
     }
-    for (const Entry& e : cell) {
-      if (checked != nullptr) ++*checked;
-      if (InRange(e, bounds, max_res)) return &e;
+    size_t scanned = 0;
+    const uint32_t hit = FindDominating(cell.bank, bounds.data(), &scanned);
+    if (checked != nullptr) *checked += scanned;
+    if (hit != kKernelNpos) {
+      if (out != nullptr) MaterializeEntry(cell, hit, out);
+      return true;
     }
   }
-  return nullptr;
+  return false;
 }
 
 std::vector<CellIndex::Collected> CellIndex::Collect(const CostVector& bounds,
@@ -121,26 +212,33 @@ std::vector<CellIndex::Collected> CellIndex::Collect(const CostVector& bounds,
                                                      uint32_t invocation) {
   std::vector<Collected> out;
   const Key bound_key = BoundKey(bounds, max_res);
-  for (auto& [key, cell] : cells_) {
-    const CellRelation rel = Classify(key, bound_key, kAnyOrder);
+  for (Cell& cell : cells_) {
+    const size_t n = cell.size();
+    if (n == 0) continue;
+    const CellRelation rel = Classify(cell.key, bound_key, kAnyOrder);
     if (rel == CellRelation::kOutside) continue;
-    for (Entry& e : cell) {
-      if (rel != CellRelation::kInside && !InRange(e, bounds, max_res)) {
-        continue;
-      }
+    const uint8_t* filter = nullptr;
+    if (rel == CellRelation::kBoundary) {
+      mask_buf_.resize(n);
+      FilterByBounds(cell.bank, bounds.data(), mask_buf_.data());
+      filter = mask_buf_.data();
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (filter != nullptr && filter[i] == 0) continue;
+      Payload& p = cell.entries[i];
       bool delta;
-      if (e.last_visible == invocation) {
+      if (p.last_visible == invocation) {
         // Already classified earlier in this invocation (the same set can
         // be collected for several splits); keep the classification.
-        delta = e.delta;
+        delta = p.delta != 0;
       } else {
         // Δ iff the entry was not visible in the previous invocation; in
         // that case its pairings may be missing and must be (re)tried.
-        delta = e.last_visible + 1 != invocation;
-        e.last_visible = invocation;
-        e.delta = delta;
+        delta = p.last_visible + 1 != invocation;
+        p.last_visible = invocation;
+        p.delta = delta;
       }
-      out.push_back({e.id, e.cost, delta});
+      out.push_back({p.id, delta});
     }
   }
   return out;
@@ -149,51 +247,64 @@ std::vector<CellIndex::Collected> CellIndex::Collect(const CostVector& bounds,
 std::vector<CellIndex::Entry> CellIndex::Drain(const CostVector& bounds,
                                                int max_res) {
   std::vector<Entry> removed;
+  Entry scratch;
   const Key bound_key = BoundKey(bounds, max_res);
-  for (auto it = cells_.begin(); it != cells_.end();) {
-    const CellRelation rel = Classify(it->first, bound_key, kAnyOrder);
-    if (rel == CellRelation::kOutside) {
-      ++it;
-      continue;
-    }
-    std::vector<Entry>& cell = it->second;
+  for (Cell& cell : cells_) {
+    size_t n = cell.size();
+    if (n == 0) continue;
+    const CellRelation rel = Classify(cell.key, bound_key, kAnyOrder);
+    if (rel == CellRelation::kOutside) continue;
     if (rel == CellRelation::kInside) {
-      removed.insert(removed.end(), cell.begin(), cell.end());
-      size_ -= cell.size();
-      it = cells_.erase(it);
+      for (size_t i = 0; i < n; ++i) {
+        removed.push_back(MaterializeEntry(cell, i, &scratch));
+      }
+      cell.bank.Clear();
+      cell.entries.clear();
+      size_ -= n;
       continue;
     }
-    for (size_t i = 0; i < cell.size();) {
-      if (InRange(cell[i], bounds, max_res)) {
-        removed.push_back(cell[i]);
-        cell[i] = cell.back();
-        cell.pop_back();
+    mask_buf_.resize(n);
+    FilterByBounds(cell.bank, bounds.data(), mask_buf_.data());
+    // Swap-with-back compaction in the legacy entry order; the mask bit
+    // travels with the entry moved into the vacated slot.
+    size_t i = 0;
+    while (i < n) {
+      if (mask_buf_[i]) {
+        removed.push_back(MaterializeEntry(cell, i, &scratch));
+        --n;
+        mask_buf_[i] = mask_buf_[n];
+        cell.bank.SwapRemove(i);
+        cell.entries[i] = cell.entries[n];
+        cell.entries.pop_back();
         --size_;
       } else {
         ++i;
       }
     }
-    if (cell.empty()) {
-      it = cells_.erase(it);
-    } else {
-      ++it;
-    }
+    // A fully drained cell stays as a husk and keeps its map slot; a
+    // later insert with the same key reuses it.
   }
   return removed;
 }
 
 void CellIndex::ResetVisibility() {
-  for (auto& [key, cell] : cells_) {
-    (void)key;
-    for (Entry& e : cell) {
-      e.last_visible = kNeverVisible;
-      e.delta = true;
+  for (Cell& cell : cells_) {
+    for (Payload& p : cell.entries) {
+      p.last_visible = kNeverVisible;
+      p.delta = 1;
     }
   }
 }
 
+size_t CellIndex::NumCells() const {
+  size_t n = 0;
+  for (const Cell& cell : cells_) n += cell.size() > 0 ? 1 : 0;
+  return n;
+}
+
 void CellIndex::Clear() {
   cells_.clear();
+  map_.Clear();
   size_ = 0;
 }
 

@@ -5,11 +5,25 @@
 // S[0..b, 0..r] (§4.1). Following the paper's §5.3 and footnote 3, we use a
 // cell structure in the spirit of Bentley & Friedman [3] with logarithmic
 // partitioning of the cost space: each plan lives in the cell identified by
-// (resolution level, ⌊log_γ cost_i⌋ for each metric i). Cells are kept in a
-// hash map, so insertion is O(1); a range query walks the occupied cells,
-// skips cells entirely outside the query box via integer comparisons on
-// the cell key, takes cells strictly inside wholesale, and filters entries
-// only in boundary cells.
+// (resolution level, interesting-order tag, ⌊log_γ cost_i⌋ for each metric
+// i). A range query walks the occupied cells, skips cells entirely outside
+// the query box via integer comparisons on the packed cell key, takes cells
+// strictly inside wholesale, and filters entries only in boundary cells.
+//
+// Data-oriented layout (docs/KERNEL.md). Cells are stored in a flat
+// vector in creation order; a small open-addressing hash maps the packed
+// 64-bit cell key to its slot — no per-node allocation, no pointer-chasing
+// bucket walks. Each cell keeps its entries in struct-of-arrays form: the
+// cost vectors live in a pareto/kernel.h CostBank (per-metric contiguous
+// double lanes, arena-bump-allocated when the owning PlanSetTable supplies
+// its arena), with the plan id and Δ-visibility state in one parallel
+// payload array.
+// Boundary-cell filtering and dominance probes run the kernel's batched
+// primitives (FilterByBounds / FindDominating) over whole lanes instead of
+// per-entry CostVector comparisons. Iteration order — and therefore every
+// downstream insertion order — is a deterministic function of the
+// insertion history alone, which is what the bit-identity suites (serial
+// vs pooled, warm vs cold fragment seeding, remote vs in-process) rely on.
 //
 // The index additionally maintains per-entry *visibility stamps* used by
 // the optimizer's Δ-set logic (paper §4.2, function Fresh): Collect()
@@ -22,10 +36,10 @@
 
 #include <cmath>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "cost/cost_vector.h"
+#include "pareto/kernel.h"
 #include "util/common.h"
 
 namespace moqo {
@@ -43,6 +57,7 @@ inline constexpr uint32_t kNeverVisible = 0xFFFFFFFFu;
 
 class CellIndex {
  public:
+  // A materialized entry view (the storage itself is struct-of-arrays).
   struct Entry {
     uint32_t id = 0;             // Caller-defined payload (PlanId).
     uint32_t last_visible = 0;   // Last invocation that collected this entry.
@@ -53,17 +68,20 @@ class CellIndex {
   };
 
   // A retrieved entry together with its Δ classification for the current
-  // invocation.
+  // invocation. Deliberately slim — phase 2 streams over millions of
+  // these per step and only pairs ids; costs stay in the bank lanes.
   struct Collected {
     uint32_t id = 0;
-    CostVector cost;
     bool delta = true;
   };
 
   // `dims` is the number of cost metrics; `gamma` the logarithmic cell
   // width (costs c and c' share a dimension bucket iff
-  // ⌊log_γ c⌋ = ⌊log_γ c'⌋).
-  explicit CellIndex(int dims, double gamma = 2.0);
+  // ⌊log_γ c⌋ = ⌊log_γ c'⌋). When `arena` is non-null the cells' cost
+  // lanes are bump-allocated from it (it must outlive the index);
+  // otherwise the index owns heap storage.
+  explicit CellIndex(int dims, double gamma = 2.0,
+                     BankArena* arena = nullptr);
 
   // Inserts an entry; `invocation` stamps it as first visible (and Δ) in
   // the given optimizer invocation. `order` tags the plan's interesting
@@ -77,13 +95,21 @@ class CellIndex {
   template <typename F>
   void ForEachInRange(const CostVector& bounds, int max_res, F&& fn) const {
     const Key bound_key = BoundKey(bounds, max_res);
-    for (const auto& [key, cell] : cells_) {
-      const CellRelation rel = Classify(key, bound_key, kAnyOrder);
+    std::vector<uint8_t> mask;
+    Entry scratch;
+    for (const Cell& cell : cells_) {
+      if (cell.size() == 0) continue;
+      const CellRelation rel = Classify(cell.key, bound_key, kAnyOrder);
       if (rel == CellRelation::kOutside) continue;
-      for (const Entry& e : cell) {
-        if (rel == CellRelation::kInside || InRange(e, bounds, max_res)) {
-          fn(e);
-        }
+      const uint8_t* filter = nullptr;
+      if (rel == CellRelation::kBoundary) {
+        mask.resize(cell.size());
+        FilterByBounds(cell.bank, bounds.data(), mask.data());
+        filter = mask.data();
+      }
+      for (size_t i = 0; i < cell.size(); ++i) {
+        if (filter != nullptr && filter[i] == 0) continue;
+        fn(MaterializeEntry(cell, i, &scratch));
       }
     }
   }
@@ -96,12 +122,13 @@ class CellIndex {
                   uint64_t* checked = nullptr,
                   int required_order = kAnyOrder) const;
 
-  // Returns some entry with resolution <= max_res, matching order tag,
-  // and cost ⪯ bounds, or nullptr. The pointer is invalidated by the
-  // next mutating call.
-  const Entry* FindInRange(const CostVector& bounds, int max_res,
-                           uint64_t* checked = nullptr,
-                           int required_order = kAnyOrder) const;
+  // Finds some entry with resolution <= max_res, matching order tag, and
+  // cost ⪯ bounds; returns true and materializes it into `*out` (when
+  // non-null). The batched replacement of the old pointer-returning
+  // lookup: entries live in lanes, so there is no node to point at.
+  bool FindInRange(const CostVector& bounds, int max_res, Entry* out,
+                   uint64_t* checked = nullptr,
+                   int required_order = kAnyOrder) const;
 
   // Retrieves all entries in range for optimizer invocation `invocation`,
   // updating visibility stamps: an entry's Δ flag is true iff it was not
@@ -124,7 +151,7 @@ class CellIndex {
   void ResetVisibility();
 
   size_t size() const { return size_; }
-  size_t NumCells() const { return cells_.size(); }
+  size_t NumCells() const;
   void Clear();
 
  private:
@@ -135,18 +162,72 @@ class CellIndex {
 
   enum class CellRelation { kOutside, kBoundary, kInside };
 
+  // Per-entry payload beside the cost lanes: the caller's id plus the
+  // Δ-visibility state. One array rather than three parallel ones —
+  // Collect, Drain, and the materializing walks always read every field
+  // of an entry together, and a single push_back per insert keeps the
+  // seeding hot path to one growing array beside the bank.
+  struct Payload {
+    uint32_t id = 0;
+    uint32_t last_visible = 0;
+    uint8_t delta = 1;
+  };
+
+  // One cost cell in struct-of-arrays layout. All entries of a cell
+  // share its resolution and order (both are part of the key), so they
+  // are stored once per cell instead of once per entry.
+  struct Cell {
+    Key key = 0;
+    CostBank bank;                 // dims cost lanes.
+    std::vector<Payload> entries;  // Payload lane, parallel to the bank.
+    uint8_t resolution = 0;
+    uint8_t order = 0;
+    size_t size() const { return entries.size(); }
+  };
+
+  // Open-addressing hash from packed cell key to slot in cells_. Linear
+  // probing over a power-of-two table; replaces std::unordered_map's
+  // per-node allocations and bucket-list walks on the hot insert path.
+  class KeyMap {
+   public:
+    // Returns the mapped slot or kKernelNpos.
+    uint32_t Find(Key key) const;
+    // Inserts a key that must not be present.
+    void Insert(Key key, uint32_t slot);
+    void Clear();
+
+   private:
+    void Rehash(size_t capacity);
+    static size_t Mix(Key key);
+
+    std::vector<Key> keys_;
+    std::vector<uint32_t> slots_;  // kKernelNpos = empty slot.
+    size_t count_ = 0;
+    size_t mask_ = 0;  // capacity - 1; 0 when empty.
+  };
+
   int Bucket(double value) const;
   Key MakeKey(const CostVector& cost, int resolution, int order) const;
   Key BoundKey(const CostVector& bounds, int max_res) const;
   // Classifies a cell against the query box described by `bound_key` and
   // the order requirement.
   CellRelation Classify(Key cell, Key bound, int required_order) const;
-  bool InRange(const Entry& e, const CostVector& bounds, int max_res) const;
+  // Finds or creates the cell for (cost, resolution, order).
+  Cell& CellFor(const CostVector& cost, int resolution, int order);
+  // Copies entry i of `cell` into *e and returns it.
+  const Entry& MaterializeEntry(const Cell& cell, size_t i, Entry* e) const;
 
   int dims_;
   double inv_log_gamma_;
   size_t size_ = 0;
-  std::unordered_map<Key, std::vector<Entry>> cells_;
+  BankArena* arena_ = nullptr;
+  // Creation-order cell store. A fully drained cell stays as an empty
+  // husk (and keeps its KeyMap slot) so a later re-insert reuses it; the
+  // husk count is bounded by the number of distinct keys ever touched.
+  std::vector<Cell> cells_;
+  KeyMap map_;
+  // Scratch mask reused by the mutating range walks.
+  std::vector<uint8_t> mask_buf_;
 };
 
 }  // namespace moqo

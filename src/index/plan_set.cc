@@ -14,7 +14,9 @@ PlanSetTable::PlanSetTable(int num_tables, int dims, double gamma)
 CellIndex& PlanSetTable::For(TableSet q) {
   MOQO_CHECK(q.mask() < sets_.size());
   std::unique_ptr<CellIndex>& slot = sets_[q.mask()];
-  if (slot == nullptr) slot = std::make_unique<CellIndex>(dims_, gamma_);
+  if (slot == nullptr) {
+    slot = std::make_unique<CellIndex>(dims_, gamma_, &arena_);
+  }
   return *slot;
 }
 

@@ -35,8 +35,13 @@ class PlanSetTable {
   int num_tables_;
   int dims_;
   double gamma_;
+  // Shared lane storage for every set's cost banks. Declared before the
+  // indexes so it outlives them; bump-allocated blocks are reclaimed
+  // wholesale when the table dies instead of per-cell.
+  BankArena arena_;
   // Returned by the const accessor for sets that were never touched, so
-  // concurrent const reads never mutate the table.
+  // concurrent const reads never mutate the table. Heap-backed (no
+  // arena): it never stores entries anyway.
   CellIndex empty_;
   // Index 0 (empty set) is unused but kept for direct mask addressing.
   std::vector<std::unique_ptr<CellIndex>> sets_;

@@ -274,6 +274,11 @@ std::string EncodeSubmitOk(uint64_t tag, const SubmitResponse& response) {
   if (response.from_cache) flags |= 1;
   if (response.coalesced) flags |= 2;
   w.PutU8(flags);
+  // Trailing optional field: the submitting tenant's cumulative
+  // fragment warm hits. Decoders treat absence as 0 (frames from
+  // servers predating the field still decode), so it must stay last
+  // and any future optional field goes after it.
+  w.PutU64(response.tenant_fragment_hits);
   return w.bytes();
 }
 
@@ -288,6 +293,11 @@ Status DecodeSubmitOk(const Frame& frame, uint64_t* tag,
   response->from_cache = (flags & 1) != 0;
   response->coalesced = (flags & 2) != 0;
   response->subscription = nullptr;
+  // Optional trailer (absent in frames from pre-telemetry servers).
+  response->tenant_fragment_hits = 0;
+  if (!r.AtEnd()) {
+    MOQO_RETURN_IF_ERROR(r.GetU64(&response->tenant_fragment_hits));
+  }
   if (!r.AtEnd()) return TrailingGarbage();
   return Status::OK();
 }

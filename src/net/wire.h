@@ -140,11 +140,15 @@ std::string EncodeSubmit(uint64_t tag, const SubmitRequest& request);
 Status DecodeSubmit(const Frame& frame, uint64_t* tag,
                     SubmitRequest* request, bool* stream);
 
-/// Encodes a SUBMIT_OK payload from the service's SubmitResponse.
+/// Encodes a SUBMIT_OK payload from the service's SubmitResponse,
+/// including the trailing optional tenant_fragment_hits telemetry
+/// field (always written by this encoder).
 std::string EncodeSubmitOk(uint64_t tag, const SubmitResponse& response);
 
 /// Decodes a SUBMIT_OK payload. The subscription field stays null (it
 /// has no wire representation; snapshots arrive as kSnapshot frames).
+/// The tenant_fragment_hits trailer is optional on decode: frames from
+/// servers predating it yield 0, keeping wire v1 compatibility.
 Status DecodeSubmitOk(const Frame& frame, uint64_t* tag,
                       SubmitResponse* response);
 

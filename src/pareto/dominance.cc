@@ -8,28 +8,28 @@
 namespace moqo {
 
 bool ApproxDominates(const CostVector& a, const CostVector& b, double alpha) {
-  MOQO_CHECK(a.dims() == b.dims());
+  MOQO_DCHECK(a.dims() == b.dims());
   for (int i = 0; i < a.dims(); ++i) {
-    if (a[i] > alpha * b[i]) return false;
+    if (a.at(i) > alpha * b.at(i)) return false;
   }
   return true;
 }
 
 bool RespectsBounds(const CostVector& cost, const CostVector& bounds) {
-  MOQO_CHECK(cost.dims() == bounds.dims());
+  MOQO_DCHECK(cost.dims() == bounds.dims());
   for (int i = 0; i < cost.dims(); ++i) {
-    if (cost[i] > bounds[i]) return false;
+    if (cost.at(i) > bounds.at(i)) return false;
   }
   return true;
 }
 
 double CoverFactor(const CostVector& a, const CostVector& b) {
-  MOQO_CHECK(a.dims() == b.dims());
+  MOQO_DCHECK(a.dims() == b.dims());
   double factor = 1.0;
   for (int i = 0; i < a.dims(); ++i) {
-    if (a[i] <= b[i]) continue;
-    if (b[i] <= 0.0) return std::numeric_limits<double>::infinity();
-    factor = std::max(factor, a[i] / b[i]);
+    if (a.at(i) <= b.at(i)) continue;
+    if (b.at(i) <= 0.0) return std::numeric_limits<double>::infinity();
+    factor = std::max(factor, a.at(i) / b.at(i));
   }
   return factor;
 }

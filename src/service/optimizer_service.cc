@@ -179,6 +179,14 @@ struct OptimizerService::RunState {
   // cache or the fragment store (its results describe dead statistics).
   bool stale = false;
   std::optional<CostVector> pending_bounds;
+  // Tenant of the founding submission, for fragment warm-hit telemetry
+  // attribution: the founder paid for the run's admission slot, so its
+  // tenant gets the seeding credit even after leadership promotion.
+  std::string tenant;
+  // Cells seeded from the fragment store were credited to
+  // tenant_fragment_hits_ (done once, at the first turn boundary —
+  // seeding happens entirely during session build).
+  bool fragment_hits_credited = false;
   // Shard-thread-only state (built lazily on the first turn):
   std::unique_ptr<PlanFactory> factory;
   std::unique_ptr<IamaSession> session;
@@ -472,6 +480,7 @@ StatusOr<SubmitResponse> OptimizerService::Submit(SubmitRequest request) {
         run->catalog_version = snapshot->version();
         run->fragment_epoch =
             fragment_store_ != nullptr ? fragment_store_->epoch() : 0;
+        run->tenant = request.tenant;
         run->home_shard = static_cast<size_t>(
             Fnv1a64(key) % static_cast<uint64_t>(options_.num_shards));
         run->leader = id;
@@ -482,6 +491,12 @@ StatusOr<SubmitResponse> OptimizerService::Submit(SubmitRequest request) {
         notify = true;
       }
       entries_.emplace(id, std::move(entry));
+    }
+    // Every successful admission (fresh, coalesced, or cache hit)
+    // reports the tenant's cumulative fragment warm hits as of now.
+    const auto hits_it = tenant_fragment_hits_.find(request.tenant);
+    if (hits_it != tenant_fragment_hits_.end()) {
+      response.tenant_fragment_hits = hits_it->second;
     }
   }
   if (cached != nullptr) {
@@ -1003,6 +1018,16 @@ void OptimizerService::SchedulerLoop(size_t shard) {
       const Counters& counters = run->session->optimizer().counters();
       run->plans_published = counters.plans_generated;
       run->pairs_published = counters.pairs_generated;
+      // Credit the run's fragment warm hits to its founding tenant,
+      // once: seeding happens entirely while the session is built, so
+      // the counter is final by the first turn boundary.
+      if (!run->fragment_hits_credited) {
+        run->fragment_hits_credited = true;
+        if (counters.fragment_cells_seeded > 0) {
+          tenant_fragment_hits_[run->tenant] +=
+              counters.fragment_cells_seeded;
+        }
+      }
     } else if (pending.has_value() && !run->pending_bounds.has_value()) {
       // A zero-step turn (deadline hit before the first step) must not
       // swallow applied-but-unstepped bounds: restore them so the

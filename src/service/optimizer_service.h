@@ -448,6 +448,13 @@ class OptimizerService {
   // enter). Entries are erased at zero so the map tracks live tenants,
   // not every tenant name ever seen.
   std::unordered_map<std::string, int> tenant_inflight_;
+  // Cumulative fragment-store warm hits per tenant: cells seeded (not
+  // enumerated) by runs the tenant founded, credited once per run at
+  // its first turn boundary and reported back on every admission
+  // (SubmitResponse::tenant_fragment_hits). Unlike tenant_inflight_,
+  // entries persist for the service lifetime — the counter is
+  // monotonic telemetry, not an admission gauge.
+  std::unordered_map<std::string, uint64_t> tenant_fragment_hits_;
   int waiters_ = 0;  // Threads currently inside Wait().
   // Per-id Wait() calls in progress; such results are not evicted.
   std::unordered_map<QueryId, int> wait_counts_;

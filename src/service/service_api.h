@@ -137,6 +137,15 @@ struct SubmitResponse {
   /// The pull-based snapshot stream; non-null iff
   /// SubmitRequest::subscribe was set.
   std::shared_ptr<SnapshotSubscription> subscription;
+  /// Cumulative fragment-store warm hits credited to the submitting
+  /// tenant: Pareto cells that runs founded by this tenant seeded from
+  /// the cross-query fragment store instead of enumerating, as of this
+  /// admission. 0 while fragment sharing is disabled. Lets a tenant see
+  /// how much enumeration work the shared store is saving it without
+  /// polling service-wide stats(). On the wire this rides SUBMIT_OK as
+  /// a trailing optional field — wire-v1 peers that do not send or
+  /// expect it interoperate unchanged (the decoder defaults it to 0).
+  uint64_t tenant_fragment_hits = 0;
 };
 
 /// Per-submission options of the legacy Submit overload.

@@ -29,6 +29,17 @@ namespace moqo {
     }                                                                       \
   } while (0)
 
+// Debug-only invariant check: full MOQO_CHECK in debug builds, compiled
+// out under -DNDEBUG. Used on hot-loop accessors (CostVector::at, bank
+// lanes) where a per-element branch is measurable in release builds.
+#ifdef NDEBUG
+#define MOQO_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define MOQO_DCHECK(cond) MOQO_CHECK(cond)
+#endif
+
 #if defined(__GNUC__) || defined(__clang__)
 #define MOQO_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
 #define MOQO_PREDICT_FALSE(x) (__builtin_expect(!!(x), 0))

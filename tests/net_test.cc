@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -180,6 +181,57 @@ TEST(WireCodecTest, ErrorRoundTripsTheTaxonomy) {
   EXPECT_EQ(out.message(), "over capacity");
 }
 
+TEST(WireCodecTest, SubmitOkRoundTripsFragmentHits) {
+  SubmitResponse in;
+  in.id = 42;
+  in.catalog_version = 7;
+  in.from_cache = true;
+  in.tenant_fragment_hits = 0x1122334455667788ull;
+  Frame frame;
+  frame.type = static_cast<uint8_t>(MsgType::kSubmitOk);
+  frame.payload = net::EncodeSubmitOk(9, in);
+  uint64_t tag = 0;
+  SubmitResponse out;
+  ASSERT_TRUE(net::DecodeSubmitOk(frame, &tag, &out).ok());
+  EXPECT_EQ(tag, 9u);
+  EXPECT_EQ(out.id, 42u);
+  EXPECT_EQ(out.catalog_version, 7u);
+  EXPECT_TRUE(out.from_cache);
+  EXPECT_FALSE(out.coalesced);
+  EXPECT_EQ(out.tenant_fragment_hits, 0x1122334455667788ull);
+}
+
+// The tenant_fragment_hits trailer is optional: a SUBMIT_OK frame from
+// a server predating the field (payload ends after the flags byte)
+// still decodes, with the counter defaulting to 0 — and a frame with a
+// partial trailer is a decode error, not a silent truncation.
+TEST(WireCodecTest, SubmitOkWithoutFragmentHitsTrailerDecodes) {
+  SubmitResponse in;
+  in.id = 3;
+  in.catalog_version = 1;
+  in.tenant_fragment_hits = 55;
+  const std::string full = net::EncodeSubmitOk(4, in);
+  constexpr size_t kTrailerBytes = 8;
+  ASSERT_GT(full.size(), kTrailerBytes);
+
+  Frame frame;
+  frame.type = static_cast<uint8_t>(MsgType::kSubmitOk);
+  frame.payload = full.substr(0, full.size() - kTrailerBytes);
+  uint64_t tag = 0;
+  SubmitResponse out;
+  out.tenant_fragment_hits = 99;  // Must be reset by the decoder.
+  ASSERT_TRUE(net::DecodeSubmitOk(frame, &tag, &out).ok());
+  EXPECT_EQ(tag, 4u);
+  EXPECT_EQ(out.id, 3u);
+  EXPECT_EQ(out.tenant_fragment_hits, 0u);
+
+  for (size_t cut = 1; cut < kTrailerBytes; ++cut) {
+    frame.payload = full.substr(0, full.size() - kTrailerBytes + cut);
+    EXPECT_FALSE(net::DecodeSubmitOk(frame, &tag, &out).ok())
+        << "partial " << cut << "-byte trailer decoded successfully";
+  }
+}
+
 // Every truncation of a valid payload must decode to an error — never
 // crash, never read out of bounds (ASan/TSan CI would flag it).
 TEST(WireCodecTest, TruncationsAreErrorsNotCrashes) {
@@ -339,6 +391,60 @@ TEST(NetServerTest, RemoteResultsBitIdenticalToInProcess) {
     }
     EXPECT_GT(last_seq, 0u);
   }
+}
+
+// SUBMIT_OK carries the submitting tenant's cumulative fragment warm
+// hits: a cold tenant reads 0, and once one of its runs has re-derived
+// cells from the fragment store, later admissions report the credit.
+TEST(NetServerTest, FragmentWarmHitsReportedOverWire) {
+  ServiceOptions service_options;
+  // Isolate the fragment path: no whole-query cache, no coalescing, so
+  // every repeat submission actually runs (and seeds).
+  service_options.frontier_cache_capacity = 0;
+  service_options.coalesce_in_flight = false;
+  service_options.fragment_cache_bytes = 16 << 20;
+  TestServer remote(service_options);
+  OptimizerClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", remote.server->port()).ok());
+
+  SubmitRequest request;
+  request.query = TpchQueryBlocks(remote.catalog).front();
+  request.tenant = "acme";
+
+  // Cold run: publishes fragments, seeds nothing, reports 0 hits.
+  StatusOr<SubmitResponse> first = client.Submit(request);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first.value().tenant_fragment_hits, 0u);
+  ASSERT_TRUE(client.Wait(first.value().id).ok());
+  // Publishing happens on the shard thread after the result is
+  // recorded, so Wait() returning does not mean the store is warm yet —
+  // wait for the publish to land before submitting the warm run.
+  for (int spin = 0;
+       remote.service->stats().fragment_publishes == 0 && spin < 500;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GT(remote.service->stats().fragment_publishes, 0u);
+
+  // Warm run: seeds the published cells (credited at its first turn).
+  StatusOr<SubmitResponse> second = client.Submit(request);
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(client.Wait(second.value().id).ok());
+  ASSERT_GT(remote.service->stats().fragment_hits, 0u);
+
+  // The credit is visible by the next admission of the same tenant —
+  // and only for that tenant.
+  StatusOr<SubmitResponse> third = client.Submit(request);
+  ASSERT_TRUE(third.ok());
+  EXPECT_GT(third.value().tenant_fragment_hits, 0u);
+  ASSERT_TRUE(client.Wait(third.value().id).ok());
+
+  SubmitRequest other = request;
+  other.tenant = "globex";
+  StatusOr<SubmitResponse> cold_tenant = client.Submit(other);
+  ASSERT_TRUE(cold_tenant.ok());
+  EXPECT_EQ(cold_tenant.value().tenant_fragment_hits, 0u);
+  ASSERT_TRUE(client.Wait(cold_tenant.value().id).ok());
 }
 
 // The loadgen-shaped integration test: N concurrent TCP sessions, all
