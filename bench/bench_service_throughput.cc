@@ -23,10 +23,20 @@
 // Output: a self-describing table on stdout, plus BENCH_service.json in
 // the working directory so the perf trajectory is tracked across PRs.
 //
+// A final persistence study (the `persistence` section of the JSON)
+// fixes one configuration and compares three boot states of the
+// fragment store: cold (empty log), DRAM-warm (same-process warm
+// pre-pass — the in-memory ceiling), and disk-warm (the pre-pass runs
+// in a *separate* service whose store log is then replayed by a fresh
+// one, i.e. the restart scenario `optimizerd --store-path` ships).
+//
 // Usage:
-//   ./build/bench_service_throughput [threads] [--full]
-//     threads  total worker budget shared by all shards (default 8)
-//     --full   larger workload + wider sweep (machine-scale)
+//   ./build/bench_service_throughput [threads] [--full] [--store-path F]
+//     threads       total worker budget shared by all shards (default 8)
+//     --full        larger workload + wider sweep (machine-scale)
+//     --store-path  fragment-store log file for the persistence study
+//                   (default BENCH_service_store.log in the working
+//                   directory; created fresh and removed afterwards)
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -124,16 +134,21 @@ struct ConfigResult {
 // inflight. Without it, all lookups of a wave race ahead of the first
 // publish and the hit rate at full inflight is honestly — but
 // uninterestingly — near zero (the two effects are now separable).
+// With a non-empty `store_path` the service persists its fragment
+// store to that log — and, when the file already holds a previous
+// service's fragments, boots disk-warm by replaying it.
 ConfigResult RunConfig(const Catalog& catalog,
                        const std::vector<Query>& workload, int threads,
                        int shards, size_t inflight, int levels,
-                       size_t fragment_mb, bool warm) {
+                       size_t fragment_mb, bool warm,
+                       const std::string& store_path = "") {
   ServiceOptions service_options;
   service_options.num_threads = threads;
   service_options.num_shards = shards;
   service_options.frontier_cache_capacity = 0;  // Measure real work.
   service_options.coalesce_in_flight = false;   // Every submission runs.
   service_options.fragment_cache_bytes = fragment_mb << 20;
+  service_options.fragment_store_path = store_path;
   service_options.operator_options = ServiceBenchOperatorOptions();
   OptimizerService service(catalog, service_options);
 
@@ -214,14 +229,18 @@ int main(int argc, char** argv) {
 
   int threads = 8;
   bool full = false;
+  std::string store_path = "BENCH_service_store.log";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) {
       full = true;
+    } else if (std::strcmp(argv[i], "--store-path") == 0 && i + 1 < argc) {
+      store_path = argv[++i];
     } else {
       threads = std::atoi(argv[i]);
       if (threads < 1) {
         std::fprintf(stderr,
-                     "usage: bench_service_throughput [threads] [--full]\n");
+                     "usage: bench_service_throughput [threads] [--full] "
+                     "[--store-path FILE]\n");
         return 1;
       }
     }
@@ -321,7 +340,100 @@ int main(int argc, char** argv) {
       }
     }
   }
-  json += "\n  ]\n}\n";
+  json += "\n  ],\n";
+
+  // --- Persistence study: cold vs DRAM-warm vs disk-warm (restart) ---------
+  // One fixed configuration; what varies is the boot state of the
+  // fragment store. disk_warm is the restart scenario: the pre-pass
+  // service writes the log and is destroyed (its destructor drains the
+  // write-behind queue), then a fresh service replays it.
+  const int p_shards = std::min(2, threads);
+  const size_t p_inflight = 1;  // Serial waves: seeding is never racing
+                                // a publish, so each mode's hit rate is
+                                // its honest ceiling.
+  const size_t p_mb = 64;
+  std::remove(store_path.c_str());
+
+  struct PersistenceRow {
+    const char* mode;
+    ConfigResult r;
+  };
+  std::vector<PersistenceRow> rows;
+  // Cold: empty log (still persisting — the write path is part of the
+  // measured cost).
+  rows.push_back({"cold", RunConfig(catalog, workload, threads, p_shards,
+                                    p_inflight, levels, p_mb,
+                                    /*warm=*/false, store_path)});
+  std::remove(store_path.c_str());
+  // DRAM-warm: same-process warm pre-pass, the in-memory ceiling.
+  rows.push_back({"dram_warm",
+                  RunConfig(catalog, workload, threads, p_shards, p_inflight,
+                            levels, p_mb, /*warm=*/true, store_path)});
+  std::remove(store_path.c_str());
+  // Disk-warm: a separate service writes the log and dies; the measured
+  // service boots by replaying it.
+  {
+    ServiceOptions prepass_options;
+    prepass_options.num_threads = threads;
+    prepass_options.num_shards = p_shards;
+    prepass_options.frontier_cache_capacity = 0;
+    prepass_options.coalesce_in_flight = false;
+    prepass_options.fragment_cache_bytes = p_mb << 20;
+    prepass_options.fragment_store_path = store_path;
+    prepass_options.operator_options = ServiceBenchOperatorOptions();
+    OptimizerService prepass(catalog, prepass_options);
+    SubmitOptions submit;
+    submit.iama.schedule = ResolutionSchedule::Moderate(levels);
+    for (const Query& query : workload) {
+      const StatusOr<QueryId> id = prepass.Submit(query, submit);
+      MOQO_CHECK(id.ok());
+      MOQO_CHECK(prepass.Wait(id.value()).state == QueryState::kDone);
+    }
+    // Destruction flushes the write-behind queue into the log.
+  }
+  rows.push_back({"disk_warm",
+                  RunConfig(catalog, workload, threads, p_shards, p_inflight,
+                            levels, p_mb, /*warm=*/false, store_path)});
+  std::remove(store_path.c_str());
+
+  std::printf("# persistence: fragment store boot states "
+              "(shards %d, inflight %zu, %zu queries)\n",
+              p_shards, p_inflight, workload.size());
+  std::printf("%10s %8s %8s %12s %10s %10s %10s\n", "mode", "wall_s", "qps",
+              "ttff_p50_ms", "frag_hit%", "cold_hits", "promotions");
+  json += "  \"persistence\": {\n";
+  json += "    \"shards\": " + std::to_string(p_shards) +
+          ", \"inflight\": " + std::to_string(p_inflight) +
+          ", \"fragment_mb\": " + std::to_string(p_mb) + ",\n";
+  json += "    \"modes\": [";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ConfigResult& r = rows[i].r;
+    const double qps = r.wall_s > 0.0 ? r.queries / r.wall_s : 0.0;
+    const double p50 = Percentile(r.ttff_ms, 0.50);
+    const uint64_t lookups = r.stats.fragment_hits + r.stats.fragment_misses;
+    const double hit_rate =
+        lookups > 0 ? 100.0 * static_cast<double>(r.stats.fragment_hits) /
+                          static_cast<double>(lookups)
+                    : 0.0;
+    std::printf("%10s %8.3f %8.2f %12.3f %10.1f %10llu %10llu\n",
+                rows[i].mode, r.wall_s, qps, p50, hit_rate,
+                static_cast<unsigned long long>(r.stats.fragment_cold_hits),
+                static_cast<unsigned long long>(r.stats.fragment_promotions));
+    char row[512];
+    std::snprintf(
+        row, sizeof(row),
+        "%s\n      {\"mode\": \"%s\", \"queries\": %zu, \"wall_s\": %.6f, "
+        "\"qps\": %.3f, \"ttff_p50_ms\": %.3f, \"fragment_hit_rate\": %.4f, "
+        "\"fragment_cold_hits\": %llu, \"fragment_promotions\": %llu, "
+        "\"fragment_publishes\": %llu}",
+        i == 0 ? "" : ",", rows[i].mode, r.queries, r.wall_s, qps, p50,
+        hit_rate / 100.0,
+        static_cast<unsigned long long>(r.stats.fragment_cold_hits),
+        static_cast<unsigned long long>(r.stats.fragment_promotions),
+        static_cast<unsigned long long>(r.stats.fragment_publishes));
+    json += row;
+  }
+  json += "\n    ]\n  }\n}\n";
 
   const char* json_path = "BENCH_service.json";
   if (std::FILE* f = std::fopen(json_path, "w")) {

@@ -10,7 +10,7 @@
 // Usage:
 //   ./build/loadgen --port P [--host H] [--sessions N] [--queries M]
 //                   [--tenants T] [--priority P] [--deadline-ms D]
-//                   [--max-iterations K] [--retries R] [--seed S] [--json]
+//                   [--max-iterations K] [--retries R] [--seed S] [--json] [--digest]
 //
 //   --port P        server port (required)
 //   --host H        server address (default 127.0.0.1)
@@ -25,6 +25,13 @@
 //                   retry-after hint (default 3)
 //   --seed S        workload seed (default 1)
 //   --json          emit one machine-readable JSON summary line
+//   --digest        print one "loadgen-digest: NAME HEX" line per query
+//                   that finished kDone: an order-insensitive FNV-1a over
+//                   the final frontier's exact cost bits, order tags, and
+//                   resolutions. Two runs against equivalent servers must
+//                   produce identical digest sets — the bit-identity
+//                   probe tests/optimizerd_smoke.sh uses to compare a
+//                   crash-recovered warm store against a cold run
 //
 // Exit status: 0 when every query either finished or was rejected with a
 // taxonomy code; 1 on any protocol/transport error.
@@ -44,6 +51,7 @@
 #include "query/query.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/str.h"
 
 using namespace moqo;
 
@@ -69,6 +77,34 @@ Query MakeQuery(Rng* rng, int session, int index) {
   return b.Build();
 }
 
+// Order-insensitive digest of a final frontier's exact content: each
+// plan renders to hex cost bits + order + resolution, the rows are
+// sorted (frontier iteration order is not part of the bit-identity
+// contract), and the concatenation is FNV-1a hashed.
+uint64_t FrontierDigest(const FrontierSnapshot& frontier) {
+  std::vector<std::string> rows;
+  rows.reserve(frontier.plans.size());
+  for (const CellIndex::Entry& e : frontier.plans) {
+    std::string row;
+    for (int i = 0; i < e.cost.dims(); ++i) {
+      AppendHexDouble(&row, e.cost[i]);
+      row += ',';
+    }
+    row += '|';
+    row += std::to_string(static_cast<int>(e.order));
+    row += '|';
+    row += std::to_string(static_cast<int>(e.resolution));
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end());
+  std::string all;
+  for (const std::string& row : rows) {
+    all += row;
+    all += ';';
+  }
+  return Fnv1a64(all);
+}
+
 struct SessionTally {
   uint64_t ok = 0;
   uint64_t shed = 0;           // kShedding rejections observed.
@@ -79,6 +115,8 @@ struct SessionTally {
   uint64_t snapshots = 0;
   uint64_t gaps = 0;  // Snapshot events lost to drop-oldest (from markers).
   std::vector<double> ttff_ms;
+  // (query name, frontier digest) per kDone query; see --digest.
+  std::vector<std::pair<std::string, uint64_t>> digests;
 };
 
 }  // namespace
@@ -95,6 +133,7 @@ int main(int argc, char** argv) {
   int retries = 3;
   uint64_t seed = 1;
   bool json = false;
+  bool digest = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -127,6 +166,8 @@ int main(int argc, char** argv) {
       seed = static_cast<uint64_t>(std::atoll(next()));
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--digest") {
+      digest = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
@@ -215,6 +256,10 @@ int main(int argc, char** argv) {
           ++tally.transport_errors;
           return;
         }
+        if (digest && result.value().state == QueryState::kDone) {
+          tally.digests.emplace_back(request.query.name,
+                                     FrontierDigest(result.value().frontier));
+        }
         for (const net::SnapshotMsg& msg : client.TakeSnapshots(id)) {
           ++tally.snapshots;
           tally.gaps += msg.dropped;
@@ -242,6 +287,18 @@ int main(int argc, char** argv) {
   }
   const double p50 = Percentile(total.ttff_ms, 0.50);
   const double p99 = Percentile(total.ttff_ms, 0.99);
+
+  if (digest) {
+    std::vector<std::pair<std::string, uint64_t>> all;
+    for (const SessionTally& t : tallies) {
+      all.insert(all.end(), t.digests.begin(), t.digests.end());
+    }
+    std::sort(all.begin(), all.end());
+    for (const auto& [name, d] : all) {
+      std::printf("loadgen-digest: %s %016llx\n", name.c_str(),
+                  static_cast<unsigned long long>(d));
+    }
+  }
 
   if (json) {
     std::printf(

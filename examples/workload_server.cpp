@@ -6,6 +6,7 @@
 //   ./build/workload_server [--threads N] [--shards N] [--random N]
 //                           [--repeat N] [--deadline-ms D]
 //                           [--fragment-cache-mb M] [--refresh-drift F]
+//                           [--store-path FILE]
 //
 //   --threads N      total worker budget across all shards (default 4)
 //   --shards N       scheduler shards, each with its own run queue and
@@ -32,6 +33,10 @@
 //                    rounds provably re-optimize — no cache hits, no
 //                    old-epoch fragment hits — on the new statistics
 //                    (docs/CATALOG_REFRESH.md). 0 disables (default)
+//   --store-path FILE  persist the fragment store's cold tier to FILE
+//                    (docs/FRAGMENT_PERSISTENCE.md). The log is replayed
+//                    at startup — rerunning with the same path starts
+//                    warm — and a tiering counter line joins the summary
 //
 // Prints one line per finished query (state, iterations, frontier size,
 // time to first frontier) and a summary with queries/sec, p50/p99
@@ -111,6 +116,7 @@ int main(int argc, char** argv) {
   double deadline_ms = 0.0;
   int fragment_cache_mb = 16;
   double refresh_drift = 0.0;
+  std::string store_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_next = i + 1 < argc;
@@ -128,11 +134,14 @@ int main(int argc, char** argv) {
       fragment_cache_mb = std::atoi(argv[++i]);
     } else if (arg == "--refresh-drift" && has_next) {
       refresh_drift = std::atof(argv[++i]);
+    } else if (arg == "--store-path" && has_next) {
+      store_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: workload_server [--threads N] [--shards N] "
                    "[--random N] [--repeat N] [--deadline-ms D] "
-                   "[--fragment-cache-mb M] [--refresh-drift F]\n");
+                   "[--fragment-cache-mb M] [--refresh-drift F] "
+                   "[--store-path FILE]\n");
       return 1;
     }
   }
@@ -167,7 +176,18 @@ int main(int argc, char** argv) {
   service_options.num_shards = shards;
   service_options.fragment_cache_bytes =
       static_cast<size_t>(fragment_cache_mb) << 20;
+  service_options.fragment_store_path = store_path;
   OptimizerService service(catalog, service_options);
+  if (!store_path.empty() && service.fragment_store() != nullptr) {
+    const FragmentStoreStats fs = service.fragment_store()->Stats();
+    std::printf(
+        "fragment store %s: replayed %llu fragments (epoch %llu, torn bytes "
+        "%llu)\n",
+        store_path.c_str(),
+        static_cast<unsigned long long>(fs.replayed_fragments),
+        static_cast<unsigned long long>(service.fragment_store()->epoch()),
+        static_cast<unsigned long long>(fs.replay_torn_bytes));
+  }
 
   SubmitOptions submit;
   submit.iama.schedule = ResolutionSchedule::Moderate(5);
@@ -290,5 +310,14 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.fragment_publishes),
       static_cast<unsigned long long>(stats.fragment_evictions),
       static_cast<double>(stats.fragment_bytes) / 1024.0);
+  if (!store_path.empty()) {
+    std::printf(
+        "fragment store tiering: cold hits %llu, promotions %llu, demotions "
+        "%llu, compactions %llu\n",
+        static_cast<unsigned long long>(stats.fragment_cold_hits),
+        static_cast<unsigned long long>(stats.fragment_promotions),
+        static_cast<unsigned long long>(stats.fragment_demotions),
+        static_cast<unsigned long long>(stats.fragment_compactions));
+  }
   return 0;
 }

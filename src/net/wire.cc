@@ -109,6 +109,14 @@ void Writer::PutU64(uint64_t v) {
   }
 }
 
+void Writer::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    out_.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out_.push_back(static_cast<char>(v));
+}
+
 void Writer::PutF64(double v) {
   uint64_t bits = 0;
   static_assert(sizeof(bits) == sizeof(v), "IEEE-754 double expected");
@@ -151,6 +159,29 @@ Status Reader::GetU64(uint64_t* v) {
   pos_ += 8;
   *v = out;
   return Status::OK();
+}
+
+Status Reader::GetVarint(uint64_t* v) {
+  uint64_t out = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (data_->size() - pos_ < 1) return Truncated();
+    const uint8_t byte = static_cast<uint8_t>((*data_)[pos_++]);
+    // Byte 10 may only contribute the 64th value bit (1 bit left).
+    if (i == 9 && byte > 1) {
+      return Status::InvalidArgument("varint overflows 64 bits");
+    }
+    out |= static_cast<uint64_t>(byte & 0x7F) << (7 * i);
+    if ((byte & 0x80) == 0) {
+      // Reject non-minimal encodings ("0x80 0x00" for 0): re-encoding a
+      // decoded value must reproduce the input bytes exactly.
+      if (i > 0 && byte == 0) {
+        return Status::InvalidArgument("non-minimal varint");
+      }
+      *v = out;
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("varint longer than 10 bytes");
 }
 
 Status Reader::GetF64(double* v) {

@@ -84,6 +84,12 @@ class Writer {
   void PutU32(uint32_t v);
   /// Appends a 64-bit little-endian integer.
   void PutU64(uint64_t v);
+  /// Appends an LEB128 varint (7 value bits per byte, high bit =
+  /// continuation; always the minimal encoding, 1-10 bytes). The compact
+  /// integer primitive shared with the fragment persistence codec
+  /// (service/fragment_codec.h), where counts and epochs are small and
+  /// records are stored by the million.
+  void PutVarint(uint64_t v);
   /// Appends a double as its IEEE-754 bit pattern (exact round trip).
   void PutF64(double v);
   /// Appends a u32 length prefix followed by the string's bytes.
@@ -109,6 +115,12 @@ class Reader {
   Status GetU32(uint32_t* v);
   /// Reads a 64-bit little-endian integer.
   Status GetU64(uint64_t* v);
+  /// Reads an LEB128 varint. Rejects encodings longer than 10 bytes or
+  /// overflowing 64 bits, and — so that decode-then-re-encode is
+  /// byte-identical, the fragment codec's round-trip invariant —
+  /// non-minimal encodings (a trailing 0x80.. continuation that adds no
+  /// value bits).
+  Status GetVarint(uint64_t* v);
   /// Reads a double from its IEEE-754 bit pattern.
   Status GetF64(double* v);
   /// Reads a u32-length-prefixed string (length checked against the

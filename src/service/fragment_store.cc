@@ -1,8 +1,16 @@
 #include "service/fragment_store.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <utility>
 
+#include "service/fragment_codec.h"
 #include "util/str.h"
 
 namespace moqo {
@@ -25,6 +33,34 @@ constexpr int kExternalOrderBase = 128;
 // block) on top of the key string and the fragment payload.
 constexpr size_t kEntryOverheadBytes = 128;
 
+// Log-record framing overhead (u32 length + u32 crc) plus the type byte;
+// a cold Entry's payload starts this far into its framed record.
+constexpr size_t kLogHeaderBytes = 9;
+
+// Initial/minimum mmap'd capacity of the persistence log. The file is
+// grown by doubling (ftruncate + remap) and trimmed back to its used
+// length on clean shutdown.
+constexpr size_t kMinLogCapacityBytes = 64 * 1024;
+
+Status ErrnoStatus(const char* op, const std::string& path) {
+  return Status::Internal(std::string(op) + " " + path + ": " +
+                          std::strerror(errno));
+}
+
+// write() the whole buffer, retrying on EINTR and short writes.
+bool WriteAll(int fd, const char* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
 }  // namespace
 
 // --- FragmentStore ----------------------------------------------------------
@@ -37,15 +73,41 @@ struct FragmentStore::Shard {
   LruList lru;  // Front = most recently used.
   std::unordered_map<std::string, LruList::iterator> index;
   size_t bytes = 0;
-  // Monotonic counters, aggregated by Stats().
-  uint64_t hits = 0;
-  uint64_t misses = 0;
-  uint64_t publishes = 0;
-  uint64_t publish_ignored = 0;
-  uint64_t evictions = 0;
 };
 
-FragmentStore::FragmentStore(Options options) : options_(options) {
+// The cold tier: an append-only log of framed codec records, mmap'd
+// MAP_SHARED so appended bytes survive SIGKILL without an explicit
+// flush, plus an in-memory index over the live fragment records. All
+// fields are guarded by `mu` after construction (OpenAndReplay runs
+// single-threaded in the ctor). The background worker is the only
+// appender; Lookup only reads record bytes and drops stale entries.
+struct FragmentStore::Cold {
+  struct Entry {
+    size_t offset = 0;   // Framed record start within the log.
+    size_t bytes = 0;    // Framed record size (header included).
+    int resolution = 0;  // resolution_complete, for coarse-skip checks.
+    uint64_t epoch = 0;  // Publish epoch, for staleness checks.
+  };
+
+  mutable std::mutex mu;
+  Status status;  // Sticky first I/O error; cold tier is dead when !ok().
+  int fd = -1;
+  char* map = nullptr;
+  size_t map_len = 0;  // mmap'd capacity == file size (until final trim).
+  size_t used = 0;     // Append offset; bytes beyond are zeroed capacity.
+  std::unordered_map<std::string, Entry> index;
+  size_t dead_bytes = 0;  // Superseded/stale/skipped framed bytes.
+  size_t last_epoch_record_bytes = 0;  // Latest epoch record (live bytes).
+  // Gauged/monotonic cold counters (reported via Stats()).
+  uint64_t appends = 0;
+  uint64_t compactions = 0;
+  uint64_t decode_errors = 0;
+  uint64_t stale_dropped = 0;
+  uint64_t replayed = 0;
+  size_t torn_bytes = 0;
+};
+
+FragmentStore::FragmentStore(Options options) : options_(std::move(options)) {
   MOQO_CHECK(options_.num_shards >= 1);
   shard_capacity_ =
       options_.capacity_bytes / static_cast<size_t>(options_.num_shards);
@@ -53,37 +115,53 @@ FragmentStore::FragmentStore(Options options) : options_(options) {
   for (int i = 0; i < options_.num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  options_.compact_dead_fraction =
+      std::min(1.0, std::max(0.05, options_.compact_dead_fraction));
+  if (!options_.store_path.empty()) {
+    cold_ = std::make_unique<Cold>();
+    OpenAndReplay();
+    if (cold_->status.ok()) {
+      cold_active_.store(true, std::memory_order_release);
+      worker_ = std::thread([this] { WorkerLoop(); });
+    }
+  }
 }
 
-FragmentStore::~FragmentStore() = default;
+FragmentStore::~FragmentStore() {
+  if (worker_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      stop_ = true;
+    }
+    queue_cv_.notify_all();
+    worker_.join();  // The worker drains the queue before exiting.
+  }
+  if (cold_ != nullptr) {
+    std::lock_guard<std::mutex> lock(cold_->mu);
+    if (cold_->map != nullptr) ::munmap(cold_->map, cold_->map_len);
+    if (cold_->fd >= 0) {
+      // Trim growth capacity (and any zeroed torn tail) so a clean
+      // shutdown leaves a log that is exactly its records.
+      if (::ftruncate(cold_->fd, static_cast<off_t>(cold_->used)) != 0) {
+        // Best-effort: an untrimmed tail replays as zero bytes.
+      }
+      ::close(cold_->fd);
+    }
+  }
+}
 
 FragmentStore::Shard& FragmentStore::ShardFor(const std::string& key) {
   return *shards_[Fnv1a64(key) % shards_.size()];
 }
 
-std::shared_ptr<const StoredFragment> FragmentStore::Lookup(
-    const std::string& key, int min_resolution) {
-  Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.index.find(key);
-  if (it == shard.index.end() ||
-      it->second->second->resolution_complete < min_resolution) {
-    ++shard.misses;
-    return nullptr;
-  }
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  ++shard.hits;
-  return it->second->second;
-}
-
-void FragmentStore::Publish(const std::string& key,
-                            std::shared_ptr<const StoredFragment> fragment) {
-  MOQO_CHECK(fragment != nullptr);
+bool FragmentStore::HotInsert(const std::string& key,
+                              std::shared_ptr<const StoredFragment> fragment,
+                              bool count_publish) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   if (shard_capacity_ == 0) {
-    ++shard.publish_ignored;
-    return;
+    if (count_publish) publish_ignored_.fetch_add(1, std::memory_order_relaxed);
+    return false;
   }
   const size_t entry_bytes =
       key.size() + fragment->ApproxBytes() + kEntryOverheadBytes;
@@ -94,9 +172,13 @@ void FragmentStore::Publish(const std::string& key,
     if (it->second->second->resolution_complete >=
         fragment->resolution_complete) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      ++shard.publish_ignored;
-      return;
+      if (count_publish) {
+        publish_ignored_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return false;
     }
+    // Release the replaced entry's bytes before charging the new ones —
+    // replacement must never inflate the gauge past the budget.
     shard.bytes -= key.size() + it->second->second->ApproxBytes() +
                    kEntryOverheadBytes;
     shard.lru.erase(it->second);
@@ -105,31 +187,473 @@ void FragmentStore::Publish(const std::string& key,
   shard.lru.emplace_front(key, std::move(fragment));
   shard.index.emplace(key, shard.lru.begin());
   shard.bytes += entry_bytes;
-  ++shard.publishes;
+  if (count_publish) publishes_.fetch_add(1, std::memory_order_relaxed);
   // Enforce the byte budget from the LRU tail. A fragment larger than
   // the whole shard budget evicts everything including itself — the
-  // store never over-retains.
+  // store never over-retains. With a healthy cold tier every eviction is
+  // a demotion: publish is write-behind, so the victim is already in the
+  // log (or in the queue ahead of any future reader's miss).
+  const bool demote = cold_active_.load(std::memory_order_relaxed);
   while (shard.bytes > shard_capacity_ && !shard.lru.empty()) {
     const auto& victim = shard.lru.back();
-    shard.bytes -=
-        victim.first.size() + victim.second->ApproxBytes() + kEntryOverheadBytes;
+    shard.bytes -= victim.first.size() + victim.second->ApproxBytes() +
+                   kEntryOverheadBytes;
     shard.index.erase(victim.first);
     shard.lru.pop_back();
-    ++shard.evictions;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (demote) demotions_.fetch_add(1, std::memory_order_relaxed);
   }
+  return true;
+}
+
+std::shared_ptr<const StoredFragment> FragmentStore::Lookup(
+    const std::string& key, int min_resolution) {
+  {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end() &&
+        it->second->second->resolution_complete >= min_resolution) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second->second;
+    }
+  }
+  // Hot miss: consult the cold tier. Record bytes are copied out under
+  // the cold mutex (compaction may move the log underneath) and decoded
+  // outside it.
+  const uint64_t current_epoch = epoch_.load(std::memory_order_relaxed);
+  std::string payload;
+  size_t entry_offset = 0;
+  bool have_record = false;
+  if (cold_ != nullptr) {
+    std::lock_guard<std::mutex> lock(cold_->mu);
+    auto it = cold_->index.find(key);
+    if (it != cold_->index.end() && cold_->status.ok()) {
+      const Cold::Entry& e = it->second;
+      if (e.epoch != current_epoch) {
+        // Raced past the bump sweep: lazily invalidate now.
+        cold_->dead_bytes += e.bytes;
+        cold_->stale_dropped += 1;
+        cold_->index.erase(it);
+      } else if (e.resolution >= min_resolution) {
+        payload.assign(cold_->map + e.offset + kLogHeaderBytes,
+                       e.bytes - kLogHeaderBytes);
+        entry_offset = e.offset;
+        have_record = true;
+      }
+    }
+  }
+  if (!have_record) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  FragmentRecord record;
+  auto fragment = std::make_shared<StoredFragment>();
+  const Status decode = DecodeFragmentRecord(payload, &record, fragment.get());
+  if (!decode.ok() || record.epoch != current_epoch) {
+    std::lock_guard<std::mutex> lock(cold_->mu);
+    auto it = cold_->index.find(key);
+    // Only drop the entry we actually read (compaction moves offsets).
+    if (it != cold_->index.end() && it->second.offset == entry_offset) {
+      cold_->dead_bytes += it->second.bytes;
+      if (!decode.ok()) {
+        cold_->decode_errors += 1;
+      } else {
+        cold_->stale_dropped += 1;
+      }
+      cold_->index.erase(it);
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  cold_hits_.fetch_add(1, std::memory_order_relaxed);
+  if (HotInsert(key, fragment, /*count_publish=*/false)) {
+    promotions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return fragment;
+}
+
+void FragmentStore::Publish(const std::string& key,
+                            std::shared_ptr<const StoredFragment> fragment) {
+  MOQO_CHECK(fragment != nullptr);
+  const bool inserted = HotInsert(key, fragment, /*count_publish=*/true);
+  // Write-behind: an accepted publish (or any publish in a cold-only
+  // configuration, where the zero hot budget rejects everything) heads
+  // to the log. The worker re-checks the cold index, so a fragment the
+  // log already holds at equal-or-finer resolution appends nothing.
+  if ((inserted || shard_capacity_ == 0) &&
+      cold_active_.load(std::memory_order_acquire)) {
+    WriteTask task;
+    task.epoch = epoch_.load(std::memory_order_relaxed);
+    task.key = key;
+    task.fragment = std::move(fragment);
+    EnqueueTask(std::move(task));
+  }
+}
+
+void FragmentStore::BumpEpoch() {
+  const uint64_t next = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (cold_active_.load(std::memory_order_acquire)) {
+    WriteTask task;
+    task.is_epoch = true;
+    task.epoch = next;
+    EnqueueTask(std::move(task));
+  }
+}
+
+void FragmentStore::EnqueueTask(WriteTask task) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stop_) return;
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+}
+
+void FragmentStore::Flush() {
+  if (cold_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  drain_cv_.wait(lock, [this] { return queue_.empty() && !worker_busy_; });
+}
+
+Status FragmentStore::cold_status() const {
+  if (cold_ == nullptr) return Status::OK();
+  std::lock_guard<std::mutex> lock(cold_->mu);
+  return cold_->status;
+}
+
+bool FragmentStore::cold_enabled() const {
+  return cold_ != nullptr && cold_active_.load(std::memory_order_acquire);
+}
+
+void FragmentStore::WorkerLoop() {
+  for (;;) {
+    WriteTask task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and fully drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      worker_busy_ = true;
+    }
+    if (task.is_epoch) {
+      std::lock_guard<std::mutex> lock(cold_->mu);
+      if (cold_->status.ok()) AppendEpochLocked(task.epoch);
+    } else {
+      // Encode outside the cold mutex; readers keep serving meanwhile.
+      FragmentRecord record;
+      record.key = task.key;
+      record.epoch = task.epoch;
+      record.catalog_version = catalog_version_.load(std::memory_order_relaxed);
+      record.resolution_complete = task.fragment->resolution_complete;
+      const std::string payload =
+          EncodeFragmentRecord(record, *task.fragment);
+      std::lock_guard<std::mutex> lock(cold_->mu);
+      if (cold_->status.ok()) AppendFragmentLocked(task, payload);
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      worker_busy_ = false;
+      if (queue_.empty()) drain_cv_.notify_all();
+    }
+  }
+}
+
+void FragmentStore::AppendFragmentLocked(const WriteTask& task,
+                                         const std::string& payload) {
+  // A publish that raced an epoch bump is already invisible (its key
+  // embeds the old epoch); don't persist it.
+  if (task.epoch != epoch_.load(std::memory_order_relaxed)) return;
+  auto it = cold_->index.find(task.key);
+  if (it != cold_->index.end() && it->second.epoch == task.epoch &&
+      it->second.resolution >= task.fragment->resolution_complete) {
+    return;  // The log already holds an equal-or-finer record.
+  }
+  std::string framed;
+  AppendLogRecord(&framed, LogRecordType::kFragment, payload);
+  if (!EnsureLogCapacityLocked(framed.size())) return;
+  Cold::Entry entry;
+  entry.offset = cold_->used;
+  entry.bytes = framed.size();
+  entry.resolution = task.fragment->resolution_complete;
+  entry.epoch = task.epoch;
+  AppendRawLocked(framed);
+  if (it != cold_->index.end()) {
+    cold_->dead_bytes += it->second.bytes;
+    it->second = entry;
+  } else {
+    cold_->index.emplace(task.key, entry);
+  }
+  cold_->appends += 1;
+  MaybeCompactLocked();
+}
+
+void FragmentStore::AppendEpochLocked(uint64_t new_epoch) {
+  std::string framed;
+  AppendLogRecord(&framed, LogRecordType::kEpoch,
+                  EncodeEpochRecord(new_epoch));
+  if (!EnsureLogCapacityLocked(framed.size())) return;
+  // The previous epoch record is now history; the new one is live.
+  cold_->dead_bytes += cold_->last_epoch_record_bytes;
+  cold_->last_epoch_record_bytes = framed.size();
+  AppendRawLocked(framed);
+  cold_->appends += 1;
+  // Sweep entries invalidated by the bump into dead bytes. A concurrent
+  // publish under the new epoch is not yet in the index (this worker
+  // appends it later), so the sweep cannot drop live data.
+  for (auto it = cold_->index.begin(); it != cold_->index.end();) {
+    if (it->second.epoch < new_epoch) {
+      cold_->dead_bytes += it->second.bytes;
+      cold_->stale_dropped += 1;
+      it = cold_->index.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  MaybeCompactLocked();
+}
+
+bool FragmentStore::EnsureLogCapacityLocked(size_t additional) {
+  if (cold_->used + additional <= cold_->map_len) return true;
+  size_t new_len = std::max(cold_->map_len * 2, kMinLogCapacityBytes);
+  while (new_len < cold_->used + additional) new_len *= 2;
+  if (::ftruncate(cold_->fd, static_cast<off_t>(new_len)) != 0) {
+    cold_->status = ErrnoStatus("ftruncate", options_.store_path);
+    cold_active_.store(false, std::memory_order_release);
+    return false;
+  }
+  void* remapped = ::mmap(nullptr, new_len, PROT_READ | PROT_WRITE,
+                          MAP_SHARED, cold_->fd, 0);
+  if (remapped == MAP_FAILED) {
+    cold_->status = ErrnoStatus("mmap", options_.store_path);
+    cold_active_.store(false, std::memory_order_release);
+    return false;
+  }
+  if (cold_->map != nullptr) ::munmap(cold_->map, cold_->map_len);
+  cold_->map = static_cast<char*>(remapped);
+  cold_->map_len = new_len;
+  return true;
+}
+
+void FragmentStore::AppendRawLocked(const std::string& framed) {
+  // MAP_SHARED dirty pages belong to the file, not the process: a
+  // SIGKILL after this memcpy loses nothing (the kernel writes the
+  // pages back), and a crash *during* it leaves a torn tail that the
+  // next boot's CRC scan discards.
+  std::memcpy(cold_->map + cold_->used, framed.data(), framed.size());
+  cold_->used += framed.size();
+}
+
+void FragmentStore::MaybeCompactLocked() {
+  if (cold_->used < options_.compact_min_bytes) return;
+  if (static_cast<double>(cold_->dead_bytes) <=
+      options_.compact_dead_fraction * static_cast<double>(cold_->used)) {
+    return;
+  }
+  // Rewrite the live records (offset order preserves replay chronology)
+  // plus one fresh epoch record into a sibling file, then swap it in by
+  // rename. A crash anywhere in between leaves either the old or the
+  // new log — both complete.
+  std::vector<std::pair<const std::string*, Cold::Entry*>> live;
+  live.reserve(cold_->index.size());
+  for (auto& kv : cold_->index) live.emplace_back(&kv.first, &kv.second);
+  std::sort(live.begin(), live.end(),
+            [](const auto& a, const auto& b) {
+              return a.second->offset < b.second->offset;
+            });
+  std::string out;
+  std::string epoch_framed;
+  AppendLogRecord(&epoch_framed, LogRecordType::kEpoch,
+                  EncodeEpochRecord(epoch_.load(std::memory_order_relaxed)));
+  out.append(epoch_framed);
+  std::vector<size_t> new_offsets(live.size());
+  for (size_t i = 0; i < live.size(); ++i) {
+    new_offsets[i] = out.size();
+    out.append(cold_->map + live[i].second->offset, live[i].second->bytes);
+  }
+  const std::string tmp_path = options_.store_path + ".compact";
+  const int tmp_fd =
+      ::open(tmp_path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (tmp_fd < 0) {
+    cold_->status = ErrnoStatus("open", tmp_path);
+    cold_active_.store(false, std::memory_order_release);
+    return;
+  }
+  size_t new_len = kMinLogCapacityBytes;
+  while (new_len < out.size()) new_len *= 2;
+  if (!WriteAll(tmp_fd, out.data(), out.size()) ||
+      ::ftruncate(tmp_fd, static_cast<off_t>(new_len)) != 0) {
+    cold_->status = ErrnoStatus("write", tmp_path);
+    cold_active_.store(false, std::memory_order_release);
+    ::close(tmp_fd);
+    return;
+  }
+  void* new_map = ::mmap(nullptr, new_len, PROT_READ | PROT_WRITE,
+                         MAP_SHARED, tmp_fd, 0);
+  if (new_map == MAP_FAILED) {
+    cold_->status = ErrnoStatus("mmap", tmp_path);
+    cold_active_.store(false, std::memory_order_release);
+    ::close(tmp_fd);
+    return;
+  }
+  if (::rename(tmp_path.c_str(), options_.store_path.c_str()) != 0) {
+    cold_->status = ErrnoStatus("rename", tmp_path);
+    cold_active_.store(false, std::memory_order_release);
+    ::munmap(new_map, new_len);
+    ::close(tmp_fd);
+    return;
+  }
+  ::munmap(cold_->map, cold_->map_len);
+  ::close(cold_->fd);
+  cold_->fd = tmp_fd;
+  cold_->map = static_cast<char*>(new_map);
+  cold_->map_len = new_len;
+  cold_->used = out.size();
+  cold_->dead_bytes = 0;
+  cold_->last_epoch_record_bytes = epoch_framed.size();
+  for (size_t i = 0; i < live.size(); ++i) {
+    live[i].second->offset = new_offsets[i];
+  }
+  cold_->compactions += 1;
+}
+
+void FragmentStore::OpenAndReplay() {
+  cold_->fd = ::open(options_.store_path.c_str(),
+                     O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (cold_->fd < 0) {
+    cold_->status = ErrnoStatus("open", options_.store_path);
+    return;
+  }
+  struct stat st;
+  if (::fstat(cold_->fd, &st) != 0) {
+    cold_->status = ErrnoStatus("fstat", options_.store_path);
+    return;
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  size_t map_len = std::max(size, kMinLogCapacityBytes);
+  if (map_len > size &&
+      ::ftruncate(cold_->fd, static_cast<off_t>(map_len)) != 0) {
+    cold_->status = ErrnoStatus("ftruncate", options_.store_path);
+    return;
+  }
+  void* map = ::mmap(nullptr, map_len, PROT_READ | PROT_WRITE, MAP_SHARED,
+                     cold_->fd, 0);
+  if (map == MAP_FAILED) {
+    cold_->status = ErrnoStatus("mmap", options_.store_path);
+    return;
+  }
+  cold_->map = static_cast<char*>(map);
+  cold_->map_len = map_len;
+
+  // Scan the log front to back. Every complete, CRC-valid record is
+  // applied; the scan stops at the first torn or corrupt one — that is
+  // the tail of the append that was in flight when the previous process
+  // died. Records that are valid frames but fail payload decode (a
+  // future codec version, isolated corruption under a valid CRC) are
+  // skipped individually: framing makes them safely skippable.
+  uint64_t max_epoch = 0;
+  size_t offset = 0;
+  while (offset < size) {
+    uint8_t type = 0;
+    std::string payload;
+    size_t record_bytes = 0;
+    const LogParse parse = ParseLogRecord(cold_->map + offset, size - offset,
+                                          &type, &payload, &record_bytes);
+    if (parse != LogParse::kRecord) break;
+    if (type == static_cast<uint8_t>(LogRecordType::kFragment)) {
+      FragmentRecord record;
+      StoredFragment fragment;
+      if (!DecodeFragmentRecord(payload, &record, &fragment).ok()) {
+        cold_->decode_errors += 1;
+        cold_->dead_bytes += record_bytes;
+      } else {
+        max_epoch = std::max(max_epoch, record.epoch);
+        Cold::Entry entry;
+        entry.offset = offset;
+        entry.bytes = record_bytes;
+        entry.resolution = record.resolution_complete;
+        entry.epoch = record.epoch;
+        auto it = cold_->index.find(record.key);
+        if (it == cold_->index.end()) {
+          cold_->index.emplace(std::move(record.key), entry);
+        } else if (entry.resolution >= it->second.resolution) {
+          cold_->dead_bytes += it->second.bytes;
+          it->second = entry;
+        } else {
+          cold_->dead_bytes += record_bytes;
+        }
+      }
+    } else if (type == static_cast<uint8_t>(LogRecordType::kEpoch)) {
+      uint64_t epoch = 0;
+      if (DecodeEpochRecord(payload, &epoch).ok()) {
+        max_epoch = std::max(max_epoch, epoch);
+        cold_->dead_bytes += cold_->last_epoch_record_bytes;
+        cold_->last_epoch_record_bytes = record_bytes;
+      } else {
+        cold_->decode_errors += 1;
+        cold_->dead_bytes += record_bytes;
+      }
+    } else {
+      // Unknown record type (future format): framing lets us skip it.
+      cold_->dead_bytes += record_bytes;
+    }
+    offset += record_bytes;
+  }
+  cold_->used = offset;
+  // Whatever follows the last valid record is the torn tail — unless it
+  // is all zeros (growth capacity that was never written). Either way,
+  // zero it so future appends start from a clean slate.
+  size_t tail = 0;
+  for (size_t i = offset; i < size; ++i) {
+    if (cold_->map[i] != 0) tail = size - offset;
+  }
+  cold_->torn_bytes = tail;
+  if (size > offset) std::memset(cold_->map + offset, 0, size - offset);
+
+  // Drop entries superseded by the final epoch; without this, a crash
+  // after a bump's sweep but before compaction would resurrect them.
+  epoch_.store(max_epoch, std::memory_order_relaxed);
+  for (auto it = cold_->index.begin(); it != cold_->index.end();) {
+    if (it->second.epoch < max_epoch) {
+      cold_->dead_bytes += it->second.bytes;
+      cold_->stale_dropped += 1;
+      it = cold_->index.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  cold_->replayed = cold_->index.size();
 }
 
 FragmentStoreStats FragmentStore::Stats() const {
   FragmentStoreStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.publishes = publishes_.load(std::memory_order_relaxed);
+  out.publish_ignored = publish_ignored_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.cold_hits = cold_hits_.load(std::memory_order_relaxed);
+  out.promotions = promotions_.load(std::memory_order_relaxed);
+  out.demotions = demotions_.load(std::memory_order_relaxed);
   for (const std::unique_ptr<Shard>& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    out.hits += shard->hits;
-    out.misses += shard->misses;
-    out.publishes += shard->publishes;
-    out.publish_ignored += shard->publish_ignored;
-    out.evictions += shard->evictions;
     out.entries += shard->index.size();
     out.bytes += shard->bytes;
+  }
+  if (cold_ != nullptr) {
+    std::lock_guard<std::mutex> lock(cold_->mu);
+    out.compactions = cold_->compactions;
+    out.cold_appends = cold_->appends;
+    out.cold_entries = cold_->index.size();
+    out.cold_bytes = cold_->used;
+    out.cold_dead_bytes = cold_->dead_bytes;
+    out.cold_decode_errors = cold_->decode_errors;
+    out.cold_stale_dropped = cold_->stale_dropped;
+    out.replayed_fragments = cold_->replayed;
+    out.replay_torn_bytes = cold_->torn_bytes;
   }
   return out;
 }

@@ -217,7 +217,12 @@ OptimizerService::OptimizerService(const Catalog& catalog,
   if (options_.fragment_cache_bytes > 0) {
     FragmentStore::Options store_options;
     store_options.capacity_bytes = options_.fragment_cache_bytes;
+    store_options.store_path = options_.fragment_store_path;
+    // With a store_path this replays the persistence log before any
+    // query is admitted: the recovered epoch and cold index are in
+    // place when the first lookup happens.
     fragment_store_ = std::make_unique<FragmentStore>(store_options);
+    fragment_store_->SetCatalogVersion(catalog_snapshot_->version());
   }
   const std::vector<int> partition =
       PartitionThreads(options_.num_threads, options_.num_shards);
@@ -566,8 +571,13 @@ uint64_t OptimizerService::RefreshCatalog() {
   }
   catalog_snapshot_ = std::move(fresh);
   // Old-generation fragments become unreachable (fragment keys embed
-  // the epoch) and age out of the store via LRU.
-  if (fragment_store_ != nullptr) fragment_store_->BumpEpoch();
+  // the epoch) and age out of the store via LRU; cold-tier entries are
+  // swept (and the bump made durable) by the store's write-behind
+  // thread, with decode-time staleness checks covering the race.
+  if (fragment_store_ != nullptr) {
+    fragment_store_->BumpEpoch();
+    fragment_store_->SetCatalogVersion(catalog_snapshot_->version());
+  }
   // Whole-query cache: every resident key embeds a dead catalog version
   // and can never be hit again — drop the entries now instead of
   // letting them squat in the LRU until capacity pushes them out.
@@ -643,6 +653,10 @@ ServiceStats OptimizerService::stats() const {
     out.fragment_publishes = fs.publishes;
     out.fragment_evictions = fs.evictions;
     out.fragment_bytes = fs.bytes;
+    out.fragment_cold_hits = fs.cold_hits;
+    out.fragment_promotions = fs.promotions;
+    out.fragment_demotions = fs.demotions;
+    out.fragment_compactions = fs.compactions;
   }
   return out;
 }

@@ -167,6 +167,16 @@ struct ServiceOptions {
   /// >= 2. Larger values trade hit opportunities for fewer, bigger
   /// fragments.
   int fragment_min_tables = 2;
+  /// Path of the fragment store's persistent cold tier (an append-only
+  /// log of serialized fragments, docs/FRAGMENT_PERSISTENCE.md). Empty
+  /// keeps the store DRAM-only. With a path, the service replays the
+  /// log at construction — a restarted `optimizerd --store-path` warm-
+  /// starts with frontiers bit-identical to the previous process's —
+  /// and fragments evicted from the hot byte budget remain servable
+  /// from disk. No effect while fragment_cache_bytes is 0. I/O failure
+  /// degrades the store to DRAM-only instead of failing construction
+  /// (see FragmentStore::cold_status()).
+  std::string fragment_store_path;
   /// Admission backpressure: the maximum number of physical runs (live
   /// optimizations, queued or stepping) the service holds at once.
   /// A Submit that would create a run beyond this bound is load-shed

@@ -241,8 +241,20 @@ struct ServiceStats {
   uint64_t fragment_hits = 0;       ///< Cells seeded from the store.
   uint64_t fragment_misses = 0;     ///< Cell lookups that found nothing.
   uint64_t fragment_publishes = 0;  ///< Cells published by completed runs.
-  uint64_t fragment_evictions = 0;  ///< Cells evicted by the byte budget.
-  uint64_t fragment_bytes = 0;      ///< Resident fragment bytes (gauge).
+  uint64_t fragment_evictions = 0;  ///< Cells evicted by the hot budget.
+  uint64_t fragment_bytes = 0;      ///< Hot-resident fragment bytes (gauge).
+  // Fragment-store tiering counters (zero unless
+  // ServiceOptions::fragment_store_path enables the persistent cold
+  // tier); mirrored from FragmentStoreStats.
+  uint64_t fragment_cold_hits = 0;  ///< Cells served by decoding a cold
+                                    ///< log record (subset of
+                                    ///< fragment_hits).
+  uint64_t fragment_promotions = 0;  ///< Cold hits installed back into
+                                     ///< the hot tier.
+  uint64_t fragment_demotions = 0;  ///< Hot evictions that stayed servable
+                                    ///< from the cold tier.
+  uint64_t fragment_compactions = 0;  ///< Cold-log rewrites reclaiming
+                                      ///< dead bytes.
 
   /// The counters accumulated since `baseline` (an earlier stats()
   /// snapshot of the same service): every monotonic counter is
@@ -269,6 +281,10 @@ struct ServiceStats {
     d.fragment_misses -= baseline.fragment_misses;
     d.fragment_publishes -= baseline.fragment_publishes;
     d.fragment_evictions -= baseline.fragment_evictions;
+    d.fragment_cold_hits -= baseline.fragment_cold_hits;
+    d.fragment_promotions -= baseline.fragment_promotions;
+    d.fragment_demotions -= baseline.fragment_demotions;
+    d.fragment_compactions -= baseline.fragment_compactions;
     return d;
   }
 };

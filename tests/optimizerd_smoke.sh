@@ -3,30 +3,65 @@
 # port, drives it with loadgen over real TCP, then checks graceful
 # drain — SIGTERM must finish in-flight work and exit 0.
 #
-# Usage: optimizerd_smoke.sh <build-dir>
+# Second leg: crash-recovery of the persistent fragment store. A server
+# booted with --store-path serves a cold pass (per-query frontier
+# digests recorded), is SIGKILLed mid-load — i.e. with write-behind
+# appends plausibly in flight — and restarted on the same path. The
+# restart must report zero decode errors in its replay line (a torn
+# final record is fine; anything the CRC rejects beyond that is not)
+# and the warm pass must reproduce the cold pass's frontier digests
+# bit for bit.
+#
+# Usage: optimizerd_smoke.sh <build-dir> [store-dir]
+# store-dir defaults to a fresh mktemp -d; CI's Release leg passes a
+# tmpfs path (/dev/shm) to keep the crash leg off spinning disks.
 # Registered by CMake as the ctest case `optimizerd_smoke` (only when
 # MOQO_BUILD_EXAMPLES is ON, since it runs the example binaries).
 set -eu
 
-BUILD_DIR="${1:?usage: optimizerd_smoke.sh <build-dir>}"
+BUILD_DIR="${1:?usage: optimizerd_smoke.sh <build-dir> [store-dir]}"
+STORE_DIR="${2:-}"
+if [ -z "$STORE_DIR" ]; then
+  STORE_DIR="$(mktemp -d)"
+  CLEAN_STORE_DIR=1
+else
+  mkdir -p "$STORE_DIR"
+  CLEAN_STORE_DIR=0
+fi
 LOG="$(mktemp)"
-trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
+LOG2="$(mktemp)"
+COLD_DIGESTS="$(mktemp)"
+WARM_DIGESTS="$(mktemp)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -f "$LOG" "$LOG2" "$COLD_DIGESTS" "$WARM_DIGESTS"
+  rm -f "$STORE_DIR/fragments.log" "$STORE_DIR/fragments.log.compact"
+  [ "$CLEAN_STORE_DIR" -eq 1 ] && rmdir "$STORE_DIR" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+# Polls $1 for the listening line; the server pid is in $SERVER_PID.
+wait_for_port() {
+  _log="$1"
+  PORT=""
+  i=0
+  while [ $i -lt 100 ]; do
+    PORT="$(sed -n 's/^optimizerd: listening on .*:\([0-9][0-9]*\)$/\1/p' "$_log")"
+    [ -n "$PORT" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { cat "$_log"; echo "FAIL: optimizerd died on startup"; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+  done
+  [ -n "$PORT" ] || { cat "$_log"; echo "FAIL: no listening line"; exit 1; }
+}
+
+# --- Leg 1: quotas + graceful drain (no store) ------------------------------
 
 "$BUILD_DIR/optimizerd" --port 0 --threads 2 --shards 2 \
   --max-inflight 16 --quota smoke=8:2 > "$LOG" &
 SERVER_PID=$!
-
-# The single startup line carries the ephemeral port.
-PORT=""
-i=0
-while [ $i -lt 100 ]; do
-  PORT="$(sed -n 's/^optimizerd: listening on .*:\([0-9][0-9]*\)$/\1/p' "$LOG")"
-  [ -n "$PORT" ] && break
-  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$LOG"; echo "FAIL: optimizerd died on startup"; exit 1; }
-  sleep 0.1
-  i=$((i + 1))
-done
-[ -n "$PORT" ] || { cat "$LOG"; echo "FAIL: no listening line"; exit 1; }
+wait_for_port "$LOG"
 
 "$BUILD_DIR/loadgen" --port "$PORT" --sessions 4 --queries 2 \
   --tenants 2 --max-iterations 8 --json || {
@@ -38,6 +73,77 @@ done
 kill -TERM "$SERVER_PID"
 STATUS=0
 wait "$SERVER_PID" || STATUS=$?
+SERVER_PID=""
 [ "$STATUS" -eq 0 ] || { cat "$LOG"; echo "FAIL: exit status $STATUS"; exit 1; }
 grep -q "optimizerd: drained\." "$LOG" || { cat "$LOG"; echo "FAIL: no drain summary"; exit 1; }
+echo "PASS: optimizerd smoke (drain leg)"
+
+# --- Leg 2: fragment-store crash recovery -----------------------------------
+
+STORE_PATH="$STORE_DIR/fragments.log"
+rm -f "$STORE_PATH"
+
+: > "$LOG"
+"$BUILD_DIR/optimizerd" --port 0 --threads 2 --shards 2 \
+  --max-inflight 16 --store-path "$STORE_PATH" > "$LOG" &
+SERVER_PID=$!
+wait_for_port "$LOG"
+grep -q "optimizerd: fragment store" "$LOG" || { cat "$LOG"; echo "FAIL: no replay report"; exit 1; }
+
+# Cold pass: record every finished query's frontier digest.
+"$BUILD_DIR/loadgen" --port "$PORT" --sessions 4 --queries 3 \
+  --tenants 2 --max-iterations 8 --digest | \
+  sed -n 's/^loadgen-digest: //p' | sort > "$COLD_DIGESTS" || {
+  echo "FAIL: cold loadgen pass"; exit 1;
+}
+[ -s "$COLD_DIGESTS" ] || { echo "FAIL: cold pass produced no digests"; exit 1; }
+
+# Crash mid-publish: start another load so runs are completing (and the
+# write-behind appender is busy), then SIGKILL — no drain, no flush.
+"$BUILD_DIR/loadgen" --port "$PORT" --sessions 4 --queries 3 \
+  --tenants 2 --max-iterations 8 --seed 7 > /dev/null 2>&1 &
+LOADGEN_PID=$!
+sleep 0.3
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+wait "$LOADGEN_PID" 2>/dev/null || true  # Transport errors expected.
+
+# Restart on the same log. The replay line must show zero decode
+# errors: a SIGKILL may tear the final in-flight append (torn bytes are
+# fine), but every record before it must replay CRC-clean.
+"$BUILD_DIR/optimizerd" --port 0 --threads 2 --shards 2 \
+  --max-inflight 16 --store-path "$STORE_PATH" > "$LOG2" &
+SERVER_PID=$!
+wait_for_port "$LOG2"
+REPLAY_LINE="$(grep "optimizerd: fragment store" "$LOG2" || true)"
+[ -n "$REPLAY_LINE" ] || { cat "$LOG2"; echo "FAIL: no replay report after crash"; exit 1; }
+echo "$REPLAY_LINE"
+echo "$REPLAY_LINE" | grep -q "decode errors 0" || {
+  cat "$LOG2"; echo "FAIL: replay reported decode errors"; exit 1;
+}
+echo "$REPLAY_LINE" | grep -q "DEGRADED" && {
+  cat "$LOG2"; echo "FAIL: cold tier degraded after crash"; exit 1;
+}
+
+# Warm pass: the same workload as the cold pass must produce the same
+# frontier digests bit for bit, seeded from the replayed log.
+"$BUILD_DIR/loadgen" --port "$PORT" --sessions 4 --queries 3 \
+  --tenants 2 --max-iterations 8 --digest | \
+  sed -n 's/^loadgen-digest: //p' | sort > "$WARM_DIGESTS" || {
+  echo "FAIL: warm loadgen pass"; exit 1;
+}
+diff "$COLD_DIGESTS" "$WARM_DIGESTS" || {
+  echo "FAIL: warm frontier digests differ from cold run"; exit 1;
+}
+
+# Clean shutdown of the recovered server: drain must still work and the
+# store summary line must appear.
+kill -TERM "$SERVER_PID"
+STATUS=0
+wait "$SERVER_PID" || STATUS=$?
+SERVER_PID=""
+[ "$STATUS" -eq 0 ] || { cat "$LOG2"; echo "FAIL: exit status $STATUS after recovery"; exit 1; }
+grep -q "optimizerd: store publishes" "$LOG2" || { cat "$LOG2"; echo "FAIL: no store summary"; exit 1; }
+echo "PASS: optimizerd smoke (crash-recovery leg)"
 echo "PASS: optimizerd smoke"
