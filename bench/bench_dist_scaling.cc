@@ -1,0 +1,288 @@
+// bench_dist_scaling — distributed phase-2 scaling study: wall time per
+// query as a function of worker-process count on the same 10-table
+// overlapping workload bench_service_throughput sweeps (shared 7-table
+// chain core, 3 private tables at a rotating root, Rng seed 77).
+//
+// Each configuration boots an OptimizerService whose large queries are
+// routed to a forked DistributedBackend worker tier; workers = 0 is the
+// single-process baseline. Submissions are sequential (the tier holds
+// one lease at a time — concurrent waves would just measure the local
+// fallback), and every distributed frontier is checked bit-identical to
+// the baseline's before a row is reported: a scaling number for a tier
+// that changed the answer would be meaningless.
+//
+// Output: a self-describing table on stdout, plus a `dist` section
+// merged into BENCH_service.json in the working directory (created if
+// absent, replaced if a previous run already merged one) so the perf
+// trajectory is tracked across PRs alongside the service sweep.
+//
+// Usage:
+//   ./build/bench_dist_scaling [--full]
+//     --full    larger workload + one more anytime level (machine-scale)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/tpch.h"
+#include "dist/backend.h"
+#include "query/query.h"
+#include "service/optimizer_service.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace moqo {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Same sizing as bench_service_throughput: moderate per-query
+// enumeration so the sweep stays laptop-scale with real per-step work.
+OperatorOptions DistBenchOperatorOptions() {
+  OperatorOptions options;
+  options.max_workers = 4;
+  options.max_sampling_rates_per_table = 1;
+  return options;
+}
+
+// The overlapping 10-table workload (shared chain core + private
+// suffix), same construction as bench_service_throughput so the `dist`
+// JSON section is comparable with the service sweep rows.
+std::vector<Query> OverlappingWorkload(Catalog* catalog, Rng& rng,
+                                       int num_queries) {
+  constexpr int kCoreTables = 7;
+  constexpr int kPrivateTables = 3;
+  std::vector<TableId> core_ids;
+  std::vector<double> core_selectivities;
+  for (int i = 0; i < kCoreTables; ++i) {
+    TableDef def;
+    def.name = "core" + std::to_string(i);
+    def.cardinality = 1000.0 * (1 << (i % 5)) + 500.0 * i;
+    core_ids.push_back(catalog->AddTable(def));
+    core_selectivities.push_back(i % 2 == 0 ? 0.5 : 1.0);
+  }
+  std::vector<Query> workload;
+  for (int q = 0; q < num_queries; ++q) {
+    QueryBuilder b("overlap10_" + std::to_string(q));
+    std::vector<int> refs;
+    for (int i = 0; i < kCoreTables; ++i) {
+      refs.push_back(b.AddTable(core_ids[static_cast<size_t>(i)],
+                                core_selectivities[static_cast<size_t>(i)]));
+    }
+    for (int i = 0; i + 1 < kCoreTables; ++i) {
+      b.AddJoin(refs[static_cast<size_t>(i)],
+                refs[static_cast<size_t>(i + 1)],
+                1.0 / catalog->Get(core_ids[static_cast<size_t>(i + 1)])
+                          .cardinality);
+    }
+    int attach = refs[static_cast<size_t>(q % kCoreTables)];
+    for (int i = 0; i < kPrivateTables; ++i) {
+      TableDef def;
+      def.name = "priv" + std::to_string(q) + "_" + std::to_string(i);
+      def.cardinality = rng.UniformDouble(1000.0, 100000.0);
+      const int ref = b.AddTable(catalog->AddTable(def),
+                                 rng.UniformDouble(0.1, 1.0));
+      b.AddJoin(attach, ref, 1.0 / def.cardinality);
+      attach = ref;
+    }
+    workload.push_back(b.Build());
+  }
+  return workload;
+}
+
+// Order-insensitive frontier fingerprint: every plan's cost vector,
+// sorted. Two runs are bit-identical iff these compare equal.
+std::vector<std::vector<double>> FrontierDigest(
+    const FrontierSnapshot& frontier) {
+  std::vector<std::vector<double>> digest;
+  digest.reserve(frontier.plans.size());
+  for (const auto& entry : frontier.plans) {
+    std::vector<double> costs;
+    costs.reserve(static_cast<size_t>(entry.cost.dims()));
+    for (int d = 0; d < entry.cost.dims(); ++d) costs.push_back(entry.cost[d]);
+    digest.push_back(std::move(costs));
+  }
+  std::sort(digest.begin(), digest.end());
+  return digest;
+}
+
+struct ConfigResult {
+  int workers = 0;
+  size_t queries = 0;
+  double wall_s = 0.0;
+  std::vector<double> query_ms;
+  uint64_t dist_runs = 0;
+  uint64_t dist_rejected = 0;
+  std::vector<std::vector<std::vector<double>>> digests;
+};
+
+// Runs the workload sequentially through a service; `workers` > 0 forks
+// that many worker processes and routes every query (all are 10 tables)
+// through the tier. The backend outlives the service, and both are torn
+// down before the next configuration so worker processes never stack.
+ConfigResult RunConfig(const Catalog& catalog,
+                       const std::vector<Query>& workload, int workers,
+                       int levels) {
+  ServiceOptions service_options;
+  service_options.num_threads = 4;
+  service_options.num_shards = 2;
+  service_options.frontier_cache_capacity = 0;  // Measure real work.
+  service_options.coalesce_in_flight = false;
+  service_options.operator_options = DistBenchOperatorOptions();
+
+  std::unique_ptr<dist::DistributedBackend> backend;
+  if (workers > 0) {
+    dist::BackendOptions dist_options;
+    dist_options.num_workers = static_cast<uint32_t>(workers);
+    dist_options.forked = true;
+    dist_options.worker.catalog = catalog.Snapshot();
+    dist_options.worker.schema = service_options.schema;
+    dist_options.worker.cost_params = service_options.cost_params;
+    dist_options.worker.operator_options = service_options.operator_options;
+    backend = std::make_unique<dist::DistributedBackend>(dist_options);
+    service_options.distributed_backend = backend.get();
+    service_options.distributed_min_tables = 3;
+  }
+  OptimizerService service(catalog, service_options);
+
+  SubmitOptions submit;
+  submit.iama.schedule = ResolutionSchedule::Moderate(levels);
+  submit.max_iterations = 64;  // Routing requires a step bound.
+
+  ConfigResult result;
+  result.workers = workers;
+  const Clock::time_point wall_start = Clock::now();
+  for (const Query& query : workload) {
+    const Clock::time_point submitted = Clock::now();
+    const StatusOr<QueryId> id = service.Submit(query, submit);
+    MOQO_CHECK(id.ok());
+    const QueryResult r = service.Wait(id.value());
+    MOQO_CHECK(r.state == QueryState::kDone);
+    result.query_ms.push_back(MillisSince(submitted));
+    result.digests.push_back(FrontierDigest(r.frontier));
+    ++result.queries;
+  }
+  result.wall_s = MillisSince(wall_start) / 1000.0;
+  if (backend != nullptr) {
+    result.dist_runs = backend->runs_started();
+    result.dist_rejected = backend->runs_rejected();
+  }
+  return result;
+}
+
+// Splices `section` into BENCH_service.json: appended to an existing
+// service-sweep file (replacing any previous `dist` section), or
+// wrapped in a fresh object when the sweep has not run here yet.
+bool MergeDistSection(const std::string& section) {
+  const char* path = "BENCH_service.json";
+  const std::string marker = ",\n  \"dist\": {";
+  std::string json;
+  if (std::FILE* f = std::fopen(path, "rb")) {
+    char buf[4096];
+    size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) json.append(buf, n);
+    std::fclose(f);
+  }
+  const size_t old_section = json.find(marker);
+  if (old_section != std::string::npos) {
+    json.resize(old_section);  // Re-run: replace the previous section.
+  } else {
+    const size_t close = json.rfind('}');
+    if (close != std::string::npos) {
+      json.resize(close);
+      while (!json.empty() && (json.back() == '\n' || json.back() == ' ')) {
+        json.pop_back();
+      }
+    } else {
+      json = "{\n  \"bench\": \"dist_scaling_only\"";  // No sweep yet.
+    }
+  }
+  json += marker;
+  json += section;
+  json += "\n}\n";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+}  // namespace moqo
+
+int main(int argc, char** argv) {
+  using namespace moqo;
+
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      full = true;
+    } else {
+      std::fprintf(stderr, "usage: bench_dist_scaling [--full]\n");
+      return 1;
+    }
+  }
+
+  const int num_queries = full ? 12 : 6;
+  const int levels = full ? 4 : 3;
+  Catalog catalog = MakeTpchCatalog();
+  Rng rng(77);
+  const std::vector<Query> workload =
+      OverlappingWorkload(&catalog, rng, num_queries);
+
+  std::printf("# dist scaling: %zu overlapping 10-table queries, "
+              "sequential, forked workers\n",
+              workload.size());
+  std::printf("%8s %8s %8s %8s %12s %10s %10s\n", "workers", "queries",
+              "wall_s", "qps", "query_p50_ms", "dist_runs", "rejected");
+
+  // workers = 0 is the single-process baseline every distributed
+  // configuration must match bit for bit.
+  const ConfigResult baseline = RunConfig(catalog, workload, 0, levels);
+  std::string section = "\n    \"workload\": "
+                        "\"overlapping_chain_core7_private3\",\n";
+  section += "    \"queries\": " + std::to_string(baseline.queries) +
+             ", \"levels\": " + std::to_string(levels) + ",\n";
+  section += "    \"configs\": [";
+  bool first_row = true;
+  for (int workers : {0, 1, 2, 4}) {
+    const ConfigResult r = workers == 0
+                               ? baseline
+                               : RunConfig(catalog, workload, workers, levels);
+    if (workers > 0) {
+      // Bit-identity is the bar: a speedup that changed the frontier
+      // would be a bug report, not a benchmark row.
+      MOQO_CHECK(r.digests == baseline.digests);
+      MOQO_CHECK(r.dist_runs == r.queries);
+    }
+    const double qps = r.wall_s > 0.0 ? r.queries / r.wall_s : 0.0;
+    const double p50 = Percentile(r.query_ms, 0.50);
+    std::printf("%8d %8zu %8.3f %8.2f %12.3f %10llu %10llu\n", r.workers,
+                r.queries, r.wall_s, qps, p50,
+                static_cast<unsigned long long>(r.dist_runs),
+                static_cast<unsigned long long>(r.dist_rejected));
+    std::fflush(stdout);
+    char row[256];
+    std::snprintf(
+        row, sizeof(row),
+        "%s\n      {\"workers\": %d, \"queries\": %zu, \"wall_s\": %.6f, "
+        "\"qps\": %.3f, \"query_p50_ms\": %.3f, \"dist_runs\": %llu, "
+        "\"dist_rejected\": %llu, \"bit_identical\": true}",
+        first_row ? "" : ",", r.workers, r.queries, r.wall_s, qps, p50,
+        static_cast<unsigned long long>(r.dist_runs),
+        static_cast<unsigned long long>(r.dist_rejected));
+    section += row;
+    first_row = false;
+  }
+  section += "\n    ]\n  }";
+
+  if (!MergeDistSection(section)) {
+    std::fprintf(stderr, "failed to write BENCH_service.json\n");
+    return 1;
+  }
+  std::printf("# merged dist section into BENCH_service.json\n");
+  return 0;
+}

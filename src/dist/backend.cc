@@ -1,0 +1,125 @@
+#include "dist/backend.h"
+
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "util/common.h"
+
+namespace moqo {
+namespace dist {
+
+DistributedBackend::DistributedBackend(const BackendOptions& options)
+    : options_(options) {
+  MOQO_CHECK(options_.num_workers >= 1);
+  links_.reserve(options_.num_workers);
+  for (uint32_t i = 0; i < options_.num_workers; ++i) {
+    WorkerConfig config = options_.worker;
+    if (i != options_.crash_worker) config.crash_after_deltas = 0;
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+      continue;  // This worker just doesn't exist; the tier degrades.
+    }
+    WorkerLink link;
+    link.fd = fds[0];
+    link.alive = true;
+    if (options_.forked) {
+      const pid_t pid = ::fork();
+      if (pid < 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        continue;
+      }
+      if (pid == 0) {
+        // Child: drop the coordinator ends — ours and every earlier
+        // sibling's. A child that kept a sibling's coordinator fd would
+        // hold that socket open past the parent's close and break EOF
+        // detection for the whole tier.
+        ::close(fds[0]);
+        for (const WorkerLink& earlier : links_) ::close(earlier.fd);
+        ServeWorker(fds[1], config);
+        ::_exit(0);
+      }
+      ::close(fds[1]);
+      link.pid = pid;
+      pids_.push_back(pid);
+    } else {
+      threads_.emplace_back([fd = fds[1], config = std::move(config)] {
+        ServeWorker(fd, config);
+        ::close(fd);
+      });
+    }
+    links_.push_back(link);
+  }
+}
+
+DistributedBackend::~DistributedBackend() {
+  // Closing the coordinator ends makes every worker's next read fail:
+  // threads return from ServeWorker, children _exit(0) and are reaped.
+  for (WorkerLink& link : links_) {
+    if (link.fd >= 0) ::close(link.fd);
+    link.fd = -1;
+    link.alive = false;
+  }
+  for (std::thread& thread : threads_) thread.join();
+  for (pid_t pid : pids_) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+}
+
+std::unique_ptr<DistRun> DistributedBackend::TryBeginRun(
+    const Query& query, uint64_t catalog_version, const IamaOptions& iama,
+    uint32_t steps) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (busy_ || steps == 0) {
+      ++runs_rejected_;
+      return nullptr;
+    }
+    busy_ = true;
+  }
+  const uint64_t seq = next_seq_++;
+  PartitionAssignment assignment;
+  assignment.catalog_version = catalog_version;
+  assignment.query = query;
+  assignment.schedule = iama.schedule;
+  assignment.initial_bounds = iama.initial_bounds;
+  assignment.cell_gamma = iama.optimizer.cell_gamma;
+  assignment.prune_against_all_resolutions =
+      iama.optimizer.prune_against_all_resolutions;
+  assignment.park_next_level_only = iama.optimizer.park_next_level_only;
+  assignment.sorted_pruning = iama.optimizer.sorted_pruning;
+  assignment.steps = steps;
+  if (AssignRun(&links_, seq, std::move(assignment)) == 0) {
+    ReleaseRun(&links_, seq);
+    std::lock_guard<std::mutex> lock(mu_);
+    busy_ = false;
+    ++runs_rejected_;
+    return nullptr;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++runs_started_;
+  }
+  return std::unique_ptr<DistRun>(new DistRun(this, seq, &links_));
+}
+
+void DistributedBackend::EndRun(uint64_t seq) {
+  // RELEASE goes out while the lease is still held (links are owned by
+  // the leasing thread until busy_ flips), then the tier frees up.
+  ReleaseRun(&links_, seq);
+  std::lock_guard<std::mutex> lock(mu_);
+  busy_ = false;
+}
+
+void DistRun::Detach() {
+  if (released_) return;
+  released_ = true;
+  backend_->EndRun(seq_);
+}
+
+}  // namespace dist
+}  // namespace moqo

@@ -1,0 +1,157 @@
+/// \file
+/// DistributedBackend: the serving process's handle on its worker tier.
+///
+/// The backend spawns the workers once (forked processes for optimizerd
+/// --workers N, in-process threads for tests that must run under
+/// ThreadSanitizer), then leases the whole tier to one distributed run
+/// at a time. A lease (DistRun) packages the coordinator-side exchange
+/// the session plugs into OptimizerOptions::phase2_exchange, and its
+/// release — explicit Detach() or destruction — broadcasts RELEASE so
+/// blocked workers abandon their replicas.
+///
+/// One run at a time is deliberate: phase-2 enumeration saturates the
+/// workers' cores, and a second concurrent distributed run would just
+/// interleave two lockstep barriers on the same pipes. Runs that cannot
+/// get the lease (busy tier, dead tier, a worker rejected the
+/// assignment) simply execute locally — distribution is an accelerator,
+/// never a requirement.
+#ifndef MOQO_DIST_BACKEND_H_
+#define MOQO_DIST_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <sys/types.h>
+#include <thread>
+#include <vector>
+
+#include "core/iama.h"
+#include "dist/coordinator.h"
+#include "dist/protocol.h"
+#include "dist/worker.h"
+#include "query/query.h"
+
+namespace moqo {
+namespace dist {
+
+/// How the worker tier is spawned and configured.
+struct BackendOptions {
+  /// Number of enumeration workers (>= 1).
+  uint32_t num_workers = 2;
+  /// true: fork one child process per worker (production shape; the
+  /// children must be spawned before the serving threads exist, so
+  /// construct the backend first). false: one std::thread per worker in
+  /// this process — the transport the TSan bit-identity tests drive.
+  bool forked = false;
+  /// Catalog/schema/cost configuration handed to every worker; must
+  /// match the serving process's (bit-identity depends on it).
+  WorkerConfig worker;
+  /// Spawn index of the worker that receives worker.crash_after_deltas;
+  /// every other worker gets the hook disabled. Lets the crash drills
+  /// kill exactly one replica mid-level.
+  uint32_t crash_worker = 0;
+};
+
+class DistributedBackend;
+
+/// One leased distributed run. Move-free, heap-held by the service's
+/// RunState; destroying it (or calling Detach) releases the workers and
+/// frees the tier for the next run. Must be destroyed by the thread
+/// that drives the session (the same single-caller contract as the
+/// session itself).
+class DistRun {
+ public:
+  ~DistRun() { Detach(); }
+  DistRun(const DistRun&) = delete;
+  DistRun& operator=(const DistRun&) = delete;
+
+  /// The exchange to install as OptimizerOptions::phase2_exchange.
+  Phase2Exchange* exchange() { return &exchange_; }
+
+  /// Workers still alive under this lease (telemetry; a degraded run
+  /// still completes bit-identically).
+  size_t live_workers() const { return exchange_.live_workers(); }
+
+  /// Releases the tier early. After Detach the session must stop using
+  /// the exchange (IncrementalOptimizer::SetPhase2Exchange(nullptr),
+  /// legal between invocations) and continues as a plain local run —
+  /// the path ApplyBounds takes, since re-bounding mid-run would desync
+  /// the fixed-step worker replicas. Idempotent.
+  void Detach();
+
+ private:
+  friend class DistributedBackend;
+  DistRun(DistributedBackend* backend, uint64_t seq,
+          std::vector<WorkerLink>* links)
+      : backend_(backend), seq_(seq), exchange_(links, seq) {}
+
+  DistributedBackend* const backend_;
+  const uint64_t seq_;
+  CoordinatorExchange exchange_;
+  bool released_ = false;
+};
+
+class DistributedBackend {
+ public:
+  /// Spawns the worker tier. For forked transports this is the fork
+  /// point — call it before creating any threads the children must not
+  /// inherit.
+  explicit DistributedBackend(const BackendOptions& options);
+
+  /// Closes every link (workers exit on EOF), joins threads, reaps
+  /// children. Any outstanding DistRun must be gone first.
+  ~DistributedBackend();
+
+  DistributedBackend(const DistributedBackend&) = delete;
+  DistributedBackend& operator=(const DistributedBackend&) = delete;
+
+  /// Pids of forked workers, in spawn order (empty for the in-process
+  /// transport). optimizerd prints these so crash drills can aim.
+  const std::vector<pid_t>& worker_pids() const { return pids_; }
+
+  /// Attempts to lease the tier for one run of `query` doing exactly
+  /// `steps` Step()/Continue() turns under `iama`'s schedule, bounds,
+  /// and result-affecting optimizer knobs. Returns null — and the
+  /// caller runs locally — when the tier is busy, every worker is dead,
+  /// or any worker rejects the assignment (e.g. catalog_version skew).
+  /// The returned lease is released by Detach()/destruction.
+  ///
+  /// Thread-safe; but note the *lease* is then single-threaded (see
+  /// DistRun).
+  std::unique_ptr<DistRun> TryBeginRun(const Query& query,
+                                       uint64_t catalog_version,
+                                       const IamaOptions& iama,
+                                       uint32_t steps);
+
+  /// Distributed runs attempted / leased / rejected counters (telemetry
+  /// for the daemon's exit summary). Reads are racy-by-design.
+  uint64_t runs_started() const { return runs_started_; }
+  uint64_t runs_rejected() const { return runs_rejected_; }
+
+  /// Workers that have not been declared dead by a run's exchange.
+  /// Racy-by-design, telemetry only.
+  size_t live_workers() const {
+    size_t live = 0;
+    for (const WorkerLink& link : links_) live += link.alive ? 1 : 0;
+    return live;
+  }
+
+ private:
+  friend class DistRun;
+  void EndRun(uint64_t seq);
+
+  BackendOptions options_;
+  std::vector<WorkerLink> links_;
+  std::vector<std::thread> threads_;  // In-process transport only.
+  std::vector<pid_t> pids_;           // Forked transport only.
+  std::mutex mu_;
+  bool busy_ = false;
+  uint64_t next_seq_ = 1;
+  uint64_t runs_started_ = 0;
+  uint64_t runs_rejected_ = 0;
+};
+
+}  // namespace dist
+}  // namespace moqo
+
+#endif  // MOQO_DIST_BACKEND_H_

@@ -1,0 +1,208 @@
+#include "dist/coordinator.h"
+
+#include <string>
+#include <utility>
+
+#include "net/wire.h"
+#include "util/common.h"
+
+namespace moqo {
+namespace dist {
+namespace {
+
+// Every worker-protocol payload leads with the u64 run sequence, so
+// staleness can be decided without knowing the frame type: frames from
+// an abandoned run are drained and dropped wherever they surface.
+bool PeekSeq(const net::Frame& frame, uint64_t* seq) {
+  net::Reader r(frame.payload);
+  return r.GetU64(seq).ok();
+}
+
+// Reads `link` until its LEVEL_DONE barrier for the current run,
+// appending each complete cell delta to `merged`. Any error — I/O,
+// decode, or a same-run frame that violates the strict
+// deltas-then-barrier alternation — marks the link dead and returns;
+// the cells this worker never delivered are recomputed by every
+// replica.
+void CollectFromLink(WorkerLink* link, uint64_t run_seq, uint32_t invocation,
+                     size_t level, std::vector<CellDelta>* merged) {
+  for (;;) {
+    net::Frame frame;
+    if (!net::ReadFrame(link->fd, &frame).ok()) {
+      link->alive = false;
+      return;
+    }
+    uint64_t seq = 0;
+    if (!PeekSeq(frame, &seq)) {
+      link->alive = false;
+      return;
+    }
+    if (seq != run_seq) continue;  // Straggler from an abandoned run.
+    switch (static_cast<net::MsgType>(frame.type)) {
+      case net::MsgType::kDelta: {
+        std::string bytes;
+        FrontierDeltaRecord record;
+        CellDelta delta;
+        if (!net::DecodeWorkerEnvelope(frame, &seq, &bytes).ok() ||
+            !DecodeFrontierDelta(bytes, &record, &delta).ok() ||
+            record.invocation != invocation ||
+            record.level != static_cast<uint32_t>(level)) {
+          link->alive = false;
+          return;
+        }
+        merged->push_back(std::move(delta));
+        break;
+      }
+      case net::MsgType::kLevelDone:
+        return;  // Barrier reached; this worker's cells are complete.
+      default:
+        link->alive = false;  // Same-run frame out of protocol order.
+        return;
+    }
+  }
+}
+
+// Reads `link` until its MERGE_ACK for the current run.
+void AwaitAck(WorkerLink* link, uint64_t run_seq) {
+  for (;;) {
+    net::Frame frame;
+    if (!net::ReadFrame(link->fd, &frame).ok()) {
+      link->alive = false;
+      return;
+    }
+    uint64_t seq = 0;
+    if (!PeekSeq(frame, &seq)) {
+      link->alive = false;
+      return;
+    }
+    if (seq != run_seq) continue;
+    if (static_cast<net::MsgType>(frame.type) != net::MsgType::kMergeAck) {
+      link->alive = false;
+    }
+    return;
+  }
+}
+
+}  // namespace
+
+bool CoordinatorExchange::ExchangeLevel(uint32_t invocation, int resolution,
+                                        size_t level,
+                                        std::vector<CellDelta> local,
+                                        std::vector<CellDelta>* merged) {
+  MOQO_CHECK(local.empty());  // Owns() is constant-false.
+  merged->clear();
+  // Collect. Sequential per link is deadlock-free: the coordinator
+  // writes nothing during collection, so a worker blocked on a full
+  // send buffer drains the moment its link's turn comes.
+  for (WorkerLink& link : *links_) {
+    if (!link.alive) continue;
+    CollectFromLink(&link, seq_, invocation, level, merged);
+  }
+  // Broadcast: encode each cell once, fan the bytes out.
+  FrontierDeltaRecord record;
+  record.invocation = invocation;
+  record.resolution = resolution;
+  record.level = static_cast<uint32_t>(level);
+  std::vector<std::string> payloads;
+  payloads.reserve(merged->size());
+  for (const CellDelta& delta : *merged) {
+    payloads.push_back(
+        net::EncodeWorkerEnvelope(seq_, EncodeFrontierDelta(record, delta)));
+  }
+  const std::string done = net::EncodeLevelBarrier(
+      seq_, invocation, static_cast<uint32_t>(level),
+      static_cast<uint32_t>(merged->size()));
+  for (WorkerLink& link : *links_) {
+    if (!link.alive) continue;
+    bool ok = true;
+    for (const std::string& payload : payloads) {
+      if (!net::WriteFrame(link.fd, net::MsgType::kMergeCell, payload).ok()) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      ok = net::WriteFrame(link.fd, net::MsgType::kMergeDone, done).ok();
+    }
+    if (!ok) link.alive = false;
+  }
+  // Acks: no replica may run more than one level ahead, and a worker
+  // that died applying the merge is discovered here, not a level later.
+  for (WorkerLink& link : *links_) {
+    if (!link.alive) continue;
+    AwaitAck(&link, seq_);
+  }
+  return true;
+}
+
+size_t CoordinatorExchange::live_workers() const {
+  size_t live = 0;
+  for (const WorkerLink& link : *links_) {
+    if (link.alive) ++live;
+  }
+  return live;
+}
+
+size_t AssignRun(std::vector<WorkerLink>* links, uint64_t seq,
+                 PartitionAssignment base) {
+  std::vector<WorkerLink*> live;
+  for (WorkerLink& link : *links) {
+    if (link.alive) live.push_back(&link);
+  }
+  if (live.empty()) return 0;
+  base.num_workers = static_cast<uint32_t>(live.size());
+  for (size_t i = 0; i < live.size(); ++i) {
+    base.worker_index = static_cast<uint32_t>(i);
+    const std::string payload =
+        net::EncodeWorkerEnvelope(seq, EncodePartitionAssignment(base));
+    if (!net::WriteFrame(live[i]->fd, net::MsgType::kAssign, payload).ok()) {
+      live[i]->alive = false;
+      return 0;  // The ownership function already counted this worker.
+    }
+  }
+  size_t accepted = 0;
+  for (WorkerLink* link : live) {
+    bool done = false;
+    while (!done) {
+      net::Frame frame;
+      if (!net::ReadFrame(link->fd, &frame).ok()) {
+        link->alive = false;
+        break;
+      }
+      uint64_t frame_seq = 0;
+      if (!PeekSeq(frame, &frame_seq)) {
+        link->alive = false;
+        break;
+      }
+      if (frame_seq != seq) continue;  // Abandoned-run straggler.
+      if (static_cast<net::MsgType>(frame.type) != net::MsgType::kAssignOk) {
+        link->alive = false;
+        break;
+      }
+      bool ok = false;
+      std::string message;
+      if (!net::DecodeAssignOk(frame, &frame_seq, &ok, &message).ok()) {
+        link->alive = false;
+        break;
+      }
+      if (ok) ++accepted;
+      done = true;
+    }
+  }
+  // All-or-nothing: a partial tier would distribute with an ownership
+  // function some replicas never agreed to.
+  return accepted == live.size() ? accepted : 0;
+}
+
+void ReleaseRun(std::vector<WorkerLink>* links, uint64_t seq) {
+  const std::string payload = net::EncodeRelease(seq);
+  for (WorkerLink& link : *links) {
+    if (!link.alive) continue;
+    if (!net::WriteFrame(link.fd, net::MsgType::kRelease, payload).ok()) {
+      link.alive = false;
+    }
+  }
+}
+
+}  // namespace dist
+}  // namespace moqo

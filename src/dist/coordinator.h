@@ -1,0 +1,85 @@
+/// \file
+/// Coordinator side of the per-level Pareto-delta exchange.
+///
+/// The CoordinatorExchange is the Phase2Exchange the *serving* session
+/// runs under when a run is distributed: it owns no cells itself, so
+/// the session's phase-2 loop enumerates nothing locally and instead
+/// per level (1) collects every live worker's frontier-delta frames up
+/// to its LEVEL_DONE barrier, (2) broadcasts the merged set back as
+/// MERGE_CELL frames capped by MERGE_DONE, and (3) waits for each live
+/// worker's MERGE_ACK so no replica runs more than one level ahead.
+///
+/// **Worker death.** Any failed read or write flips the link dead and
+/// the level simply proceeds with the deltas that did arrive — each
+/// DELTA frame is one complete cell, so the merged set is always a set
+/// of whole cells. The cells a dead worker never sent are *absent* from
+/// the merged set, and every replica (this coordinator included, inside
+/// IncrementalOptimizer's merge loop) recomputes absent cells locally.
+/// That is the failure story in one sentence: reassignment is implicit
+/// in recomputation, and the run's output is bit-identical to a
+/// single-node run no matter when a worker dies.
+#ifndef MOQO_DIST_COORDINATOR_H_
+#define MOQO_DIST_COORDINATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/incremental_optimizer.h"
+#include "dist/protocol.h"
+#include "service/fragment_codec.h"
+
+namespace moqo {
+namespace dist {
+
+/// Per-run exchange driven by the coordinator's own optimizer. Not
+/// thread-safe: the backend's lease guarantees one distributed run at a
+/// time, and the shard thread stepping that run is the only caller.
+class CoordinatorExchange : public Phase2Exchange {
+ public:
+  /// `links` must outlive the exchange; dead links are skipped and
+  /// newly dead ones are recorded in place.
+  CoordinatorExchange(std::vector<WorkerLink>* links, uint64_t seq)
+      : links_(links), seq_(seq) {}
+
+  /// The coordinator owns no cells — workers enumerate, it merges.
+  bool Owns(TableSet cell) override {
+    (void)cell;
+    return false;
+  }
+
+  /// Collect, broadcast, ack. Never aborts (returns true even with every
+  /// worker dead — the merged set is then empty and the session
+  /// recomputes everything, degrading to local execution in place).
+  bool ExchangeLevel(uint32_t invocation, int resolution, size_t level,
+                     std::vector<CellDelta> local,
+                     std::vector<CellDelta>* merged) override;
+
+  /// Links that are still alive (cheap scan; used for degradation
+  /// telemetry and by tests).
+  size_t live_workers() const;
+
+ private:
+  std::vector<WorkerLink>* const links_;
+  const uint64_t seq_;
+};
+
+/// Sends ASSIGN (sequence `seq`, one PartitionAssignment per live link,
+/// re-indexed 0..live-1) and waits for every live worker's ASSIGN_OK.
+/// Returns the number of workers that accepted; any rejection, decode
+/// failure, or dead link makes the whole assignment fail (returns 0)
+/// and the caller releases — a partial tier would change the ownership
+/// function mid-handshake. Stale frames from an abandoned prior run are
+/// drained and ignored. `base.worker_index`/`base.num_workers` are
+/// overwritten per link.
+size_t AssignRun(std::vector<WorkerLink>* links, uint64_t seq,
+                 PartitionAssignment base);
+
+/// Sends RELEASE for `seq` to every live link. Idle workers ignore it;
+/// workers blocked mid-exchange abort their replica. Failures just mark
+/// the link dead.
+void ReleaseRun(std::vector<WorkerLink>* links, uint64_t seq);
+
+}  // namespace dist
+}  // namespace moqo
+
+#endif  // MOQO_DIST_COORDINATOR_H_

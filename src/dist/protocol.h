@@ -1,0 +1,67 @@
+/// \file
+/// Shared definitions of the distributed optimization tier's protocol.
+///
+/// The tier is *replicated-state lockstep*: every participant — the
+/// coordinator (the serving process's session) and each of the W
+/// enumeration workers — holds a full IncrementalOptimizer replica built
+/// from the same PartitionAssignment. Per phase-2 level, each replica
+/// enumerates only the cells it owns, the coordinator collects every
+/// worker's per-cell deltas and broadcasts the merged set, and every
+/// replica applies that set in the same canonical cell order. Because
+/// the applied sequence is identical everywhere (costs travel as IEEE-754
+/// bit patterns), plan-arena ids and all downstream state stay in
+/// bit-identical lockstep — which is what lets any replica locally
+/// recompute a cell that is *missing* from the merged set (a dead
+/// worker's unsent cells) and still agree with every other replica.
+///
+/// Cell ownership is a pure function of the cell's table-set mask, fixed
+/// for the whole run: hash(mask) % num_workers == worker_index. The
+/// coordinator owns no cells. See docs/DISTRIBUTED.md for the message
+/// flow and failure semantics.
+#ifndef MOQO_DIST_PROTOCOL_H_
+#define MOQO_DIST_PROTOCOL_H_
+
+#include <cstdint>
+#include <sys/types.h>
+
+#include "util/table_set.h"
+
+namespace moqo {
+namespace dist {
+
+/// Mixes a cell mask into a well-distributed 64-bit hash (splitmix64
+/// finalizer). Consecutive masks land on unrelated workers, so the
+/// partition balances across the table-set classes of every level.
+inline uint64_t HashCell(uint32_t mask) {
+  uint64_t x = static_cast<uint64_t>(mask) + 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// True when `cell` belongs to worker `worker_index` of `num_workers`.
+/// Every replica evaluates this identically, which is the whole
+/// partition scheme: no range tables, no reassignment messages.
+inline bool OwnsCell(TableSet cell, uint32_t worker_index,
+                     uint32_t num_workers) {
+  return HashCell(cell.mask()) % num_workers == worker_index;
+}
+
+/// One coordinator-side connection to a worker. `alive` is flipped off
+/// (never back on) by the first failed read or write: a dead worker's
+/// cells simply stop appearing in merged level sets, and every replica
+/// recomputes them locally — implicit reassignment, no extra frames.
+struct WorkerLink {
+  /// Coordinator's end of the socketpair.
+  int fd = -1;
+  /// Child pid for forked transports (0 for in-process threads). The
+  /// serving binary exposes these so crash drills can SIGKILL one.
+  pid_t pid = 0;
+  /// False once any I/O on `fd` fails; the link is never reused.
+  bool alive = false;
+};
+
+}  // namespace dist
+}  // namespace moqo
+
+#endif  // MOQO_DIST_PROTOCOL_H_

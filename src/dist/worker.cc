@@ -1,0 +1,208 @@
+#include "dist/worker.h"
+
+#include <sys/socket.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/iama.h"
+#include "core/incremental_optimizer.h"
+#include "dist/protocol.h"
+#include "net/wire.h"
+#include "query/query.h"
+#include "service/fragment_codec.h"
+#include "util/common.h"
+
+namespace moqo {
+namespace dist {
+namespace {
+
+// The worker half of the per-level delta exchange. Send every owned
+// cell's delta plus the LEVEL_DONE barrier, then block until the
+// coordinator broadcasts the merged set (MERGE_CELL* MERGE_DONE) and
+// acknowledge it. Any socket error or a RELEASE for this run's sequence
+// returns false, which aborts the replica's Optimize() — the worker has
+// no state worth saving, so abort is just unwinding.
+class WorkerExchange : public Phase2Exchange {
+ public:
+  WorkerExchange(int fd, uint64_t seq, uint32_t worker_index,
+                 uint32_t num_workers, uint32_t crash_after_deltas,
+                 uint32_t* deltas_sent)
+      : fd_(fd),
+        seq_(seq),
+        worker_index_(worker_index),
+        num_workers_(num_workers),
+        crash_after_deltas_(crash_after_deltas),
+        deltas_sent_(deltas_sent) {}
+
+  bool Owns(TableSet cell) override {
+    return OwnsCell(cell, worker_index_, num_workers_);
+  }
+
+  bool ExchangeLevel(uint32_t invocation, int resolution, size_t level,
+                     std::vector<CellDelta> local,
+                     std::vector<CellDelta>* merged) override {
+    FrontierDeltaRecord record;
+    record.invocation = invocation;
+    record.resolution = resolution;
+    record.level = static_cast<uint32_t>(level);
+    for (const CellDelta& delta : local) {
+      const std::string payload =
+          net::EncodeWorkerEnvelope(seq_, EncodeFrontierDelta(record, delta));
+      if (!net::WriteFrame(fd_, net::MsgType::kDelta, payload).ok()) {
+        return false;
+      }
+      ++*deltas_sent_;
+      if (crash_after_deltas_ != 0 && *deltas_sent_ >= crash_after_deltas_) {
+        // Crash drill: die the way SIGKILL looks to the coordinator —
+        // the socket goes dead mid-level, after some complete deltas.
+        ::shutdown(fd_, SHUT_RDWR);
+        return false;
+      }
+    }
+    const std::string done = net::EncodeLevelBarrier(
+        seq_, invocation, static_cast<uint32_t>(level),
+        static_cast<uint32_t>(local.size()));
+    if (!net::WriteFrame(fd_, net::MsgType::kLevelDone, done).ok()) {
+      return false;
+    }
+    merged->clear();
+    for (;;) {
+      net::Frame frame;
+      if (!net::ReadFrame(fd_, &frame).ok()) return false;
+      switch (static_cast<net::MsgType>(frame.type)) {
+        case net::MsgType::kMergeCell: {
+          uint64_t seq = 0;
+          std::string bytes;
+          if (!net::DecodeWorkerEnvelope(frame, &seq, &bytes).ok()) {
+            return false;
+          }
+          if (seq != seq_) break;  // Straggler from an abandoned run.
+          FrontierDeltaRecord merged_record;
+          CellDelta delta;
+          if (!DecodeFrontierDelta(bytes, &merged_record, &delta).ok()) {
+            return false;
+          }
+          merged->push_back(std::move(delta));
+          break;
+        }
+        case net::MsgType::kMergeDone: {
+          uint64_t seq = 0;
+          uint64_t done_invocation = 0;
+          uint32_t done_level = 0;
+          uint32_t cells = 0;
+          if (!net::DecodeLevelBarrier(frame, &seq, &done_invocation,
+                                       &done_level, &cells)
+                   .ok()) {
+            return false;
+          }
+          if (seq != seq_) break;
+          const std::string ack = net::EncodeMergeAck(
+              seq_, invocation, static_cast<uint32_t>(level));
+          return net::WriteFrame(fd_, net::MsgType::kMergeAck, ack).ok();
+        }
+        case net::MsgType::kRelease: {
+          uint64_t seq = 0;
+          if (!net::DecodeRelease(frame, &seq).ok()) return false;
+          if (seq == seq_) return false;  // This run was abandoned.
+          break;  // A release for an older run; ignore.
+        }
+        default:
+          // The coordinator never sends anything else mid-merge; treat
+          // a violation as a dead link.
+          return false;
+      }
+    }
+  }
+
+ private:
+  const int fd_;
+  const uint64_t seq_;
+  const uint32_t worker_index_;
+  const uint32_t num_workers_;
+  const uint32_t crash_after_deltas_;
+  uint32_t* const deltas_sent_;
+};
+
+// Runs one assignment to completion (all steps), abort (release or
+// socket death), or rejection. Errors are not reported anywhere beyond
+// the ASSIGN_OK verdict — the coordinator observes worker failure as a
+// dead socket, never as a message.
+void HandleAssign(int fd, const WorkerConfig& config, const net::Frame& frame,
+                  uint32_t* deltas_sent) {
+  uint64_t seq = 0;
+  std::string record_bytes;
+  if (!net::DecodeWorkerEnvelope(frame, &seq, &record_bytes).ok()) return;
+  PartitionAssignment assignment;
+  std::string reject;
+  const Status decoded = DecodePartitionAssignment(record_bytes, &assignment);
+  if (!decoded.ok()) {
+    reject = decoded.message();
+  } else if (config.catalog == nullptr) {
+    reject = "worker has no catalog snapshot";
+  } else if (assignment.catalog_version != config.catalog->version()) {
+    reject = "catalog version mismatch (worker has " +
+             std::to_string(config.catalog->version()) + ", assignment pins " +
+             std::to_string(assignment.catalog_version) + ")";
+  } else {
+    const Status valid = ValidateQuery(assignment.query, *config.catalog);
+    if (!valid.ok()) reject = valid.message();
+  }
+  const bool ok = reject.empty();
+  if (!net::WriteFrame(fd, net::MsgType::kAssignOk,
+                       net::EncodeAssignOk(seq, ok, reject))
+           .ok()) {
+    return;
+  }
+  if (!ok) return;
+
+  PlanFactory factory(assignment.query, config.catalog, config.schema,
+                      config.cost_params, config.operator_options);
+  WorkerExchange exchange(fd, seq, assignment.worker_index,
+                          assignment.num_workers, config.crash_after_deltas,
+                          deltas_sent);
+  IamaOptions iama;
+  iama.schedule = assignment.schedule;
+  iama.initial_bounds = assignment.initial_bounds;
+  iama.optimizer.cell_gamma = assignment.cell_gamma;
+  iama.optimizer.prune_against_all_resolutions =
+      assignment.prune_against_all_resolutions;
+  iama.optimizer.park_next_level_only = assignment.park_next_level_only;
+  iama.optimizer.sorted_pruning = assignment.sorted_pruning;
+  iama.optimizer.phase2_exchange = &exchange;
+  IamaSession session(factory, iama);
+  // The same autonomous loop the coordinator's scheduler drives; the
+  // exchange barriers keep the replica from outrunning it by more than
+  // one level's worth of queued delta frames.
+  for (uint32_t i = 0; i < assignment.steps; ++i) {
+    session.Step();
+    if (session.optimizer().exchange_aborted()) return;
+    session.ApplyAction(UserAction::Continue());
+  }
+}
+
+}  // namespace
+
+void ServeWorker(int fd, const WorkerConfig& config) {
+  uint32_t deltas_sent = 0;
+  for (;;) {
+    net::Frame frame;
+    if (!net::ReadFrame(fd, &frame).ok()) return;
+    switch (static_cast<net::MsgType>(frame.type)) {
+      case net::MsgType::kAssign:
+        HandleAssign(fd, config, frame, &deltas_sent);
+        break;
+      case net::MsgType::kRelease:
+        // The release of a run that already finished (or was rejected);
+        // nothing to abandon.
+        break;
+      default:
+        // Stragglers from an abandoned run; skip.
+        break;
+    }
+  }
+}
+
+}  // namespace dist
+}  // namespace moqo

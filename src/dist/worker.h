@@ -1,0 +1,69 @@
+/// \file
+/// The optimizer worker: one replica of the distributed enumeration tier.
+///
+/// A DistWorker sits on its end of a coordinator socketpair and serves
+/// assignments for the life of the connection. Per assignment it builds
+/// a full IamaSession replica from the PartitionAssignment record,
+/// drives it through the assigned number of Step()/Continue() turns, and
+/// lets the session's Phase2Exchange do the actual work: send a
+/// frontier-delta frame per owned cell at every level barrier, then
+/// block until the coordinator broadcasts the merged level set.
+///
+/// The worker holds no authoritative state — its replica exists to
+/// compute deltas, and the coordinator's session is the one whose
+/// frontier the client sees. A RELEASE frame (or any socket error)
+/// aborts the replica mid-run with nothing to clean up but memory,
+/// which is what makes worker death and run abandonment cheap.
+///
+/// The same class serves both transports: forked worker processes
+/// (optimizerd --workers N) and in-process worker threads (the
+/// TSan-friendly transport the bit-identity tests use).
+#ifndef MOQO_DIST_WORKER_H_
+#define MOQO_DIST_WORKER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "cost/metric.h"
+#include "plan/cost_model.h"
+#include "plan/operators.h"
+
+namespace moqo {
+namespace dist {
+
+/// Everything a worker needs besides the per-run assignment. The cost
+/// model, operator options, and metric schema are process-global and
+/// result-affecting, so they are inherited from the serving process at
+/// spawn time (fork or thread) rather than transmitted: coordinator and
+/// workers agree on them by construction, and the assignment only
+/// carries what varies per run.
+struct WorkerConfig {
+  /// Catalog snapshot the worker optimizes on. Assignments pinning a
+  /// different catalog_version are rejected with ASSIGN_OK(ok=false),
+  /// which makes the coordinator fall back to local execution instead
+  /// of optimizing on divergent statistics.
+  std::shared_ptr<const CatalogSnapshot> catalog;
+  /// Metric schema shared with the serving process.
+  MetricSchema schema = MetricSchema::Standard3();
+  /// Cost model parameters shared with the serving process.
+  CostModelParams cost_params;
+  /// Operator repertoire shared with the serving process.
+  OperatorOptions operator_options;
+  /// Test hook: after this many DELTA frames have been sent across the
+  /// worker's lifetime, the worker shuts its socket down and aborts —
+  /// a deterministic stand-in for SIGKILL mid-level that also works for
+  /// the in-process transport under ThreadSanitizer. 0 disables.
+  uint32_t crash_after_deltas = 0;
+};
+
+/// Runs the worker protocol on `fd` until the coordinator closes it (or
+/// the crash hook fires). Blocking; call from a dedicated thread or a
+/// forked child's main. Takes ownership of nothing — the caller closes
+/// `fd` after Serve returns.
+void ServeWorker(int fd, const WorkerConfig& config);
+
+}  // namespace dist
+}  // namespace moqo
+
+#endif  // MOQO_DIST_WORKER_H_

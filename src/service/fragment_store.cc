@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -105,6 +106,9 @@ struct FragmentStore::Cold {
   uint64_t stale_dropped = 0;
   uint64_t replayed = 0;
   size_t torn_bytes = 0;
+  uint64_t budget_dropped = 0;  // Live entries dropped by the byte budget.
+  uint64_t syncs = 0;           // msync calls (fsync policy).
+  size_t synced_used = 0;       // Log bytes already pushed to stable storage.
 };
 
 FragmentStore::FragmentStore(Options options) : options_(std::move(options)) {
@@ -117,6 +121,7 @@ FragmentStore::FragmentStore(Options options) : options_(std::move(options)) {
   }
   options_.compact_dead_fraction =
       std::min(1.0, std::max(0.05, options_.compact_dead_fraction));
+  options_.fsync_interval_ms = std::max(1, options_.fsync_interval_ms);
   if (!options_.store_path.empty()) {
     cold_ = std::make_unique<Cold>();
     OpenAndReplay();
@@ -329,12 +334,29 @@ bool FragmentStore::cold_enabled() const {
 }
 
 void FragmentStore::WorkerLoop() {
+  const bool interval_sync =
+      options_.fsync_mode == FragmentFsyncMode::kInterval;
   for (;;) {
     WriteTask task;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and fully drained.
+      if (interval_sync) {
+        // The sync tick rides the queue wait: wake on work, stop, or the
+        // interval elapsing with dirty bytes still unsynced.
+        queue_cv_.wait_for(
+            lock, std::chrono::milliseconds(options_.fsync_interval_ms),
+            [this] { return stop_ || !queue_.empty(); });
+      } else {
+        queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      }
+      if (queue_.empty()) {
+        if (stop_) break;  // Fully drained; final sync below.
+        // Interval tick with no queued work: sync outside queue_mu_.
+        lock.unlock();
+        std::lock_guard<std::mutex> cold_lock(cold_->mu);
+        if (cold_->status.ok()) SyncColdLocked();
+        continue;
+      }
       task = std::move(queue_.front());
       queue_.pop_front();
       worker_busy_ = true;
@@ -359,6 +381,12 @@ void FragmentStore::WorkerLoop() {
       worker_busy_ = false;
       if (queue_.empty()) drain_cv_.notify_all();
     }
+  }
+  if (interval_sync) {
+    // Shutdown: whatever the last tick missed goes out now, so the
+    // durability window never outlives the process.
+    std::lock_guard<std::mutex> lock(cold_->mu);
+    if (cold_->status.ok()) SyncColdLocked();
   }
 }
 
@@ -388,7 +416,9 @@ void FragmentStore::AppendFragmentLocked(const WriteTask& task,
     cold_->index.emplace(task.key, entry);
   }
   cold_->appends += 1;
+  EnforceColdBudgetLocked();
   MaybeCompactLocked();
+  if (options_.fsync_mode == FragmentFsyncMode::kAlways) SyncColdLocked();
 }
 
 void FragmentStore::AppendEpochLocked(uint64_t new_epoch) {
@@ -414,6 +444,7 @@ void FragmentStore::AppendEpochLocked(uint64_t new_epoch) {
     }
   }
   MaybeCompactLocked();
+  if (options_.fsync_mode == FragmentFsyncMode::kAlways) SyncColdLocked();
 }
 
 bool FragmentStore::EnsureLogCapacityLocked(size_t additional) {
@@ -445,6 +476,48 @@ void FragmentStore::AppendRawLocked(const std::string& framed) {
   // next boot's CRC scan discards.
   std::memcpy(cold_->map + cold_->used, framed.data(), framed.size());
   cold_->used += framed.size();
+}
+
+// The cold live-byte budget: while live bytes (used minus dead) exceed
+// it, demote the oldest live fragment — smallest (epoch, offset), the
+// least recently (re)published record — to dead bytes. Demotion-to-drop
+// rather than demotion-to-somewhere: there is no colder tier, so the
+// fragment simply stops being servable and compaction reclaims the
+// space. Linear victim scans are fine at this call rate (one append per
+// accepted publish, and the loop usually evicts zero or one entry).
+void FragmentStore::EnforceColdBudgetLocked() {
+  if (options_.cold_budget_bytes == 0) return;
+  while (!cold_->index.empty() &&
+         cold_->used - cold_->dead_bytes > options_.cold_budget_bytes) {
+    auto victim = cold_->index.begin();
+    for (auto it = std::next(cold_->index.begin()); it != cold_->index.end();
+         ++it) {
+      if (it->second.epoch < victim->second.epoch ||
+          (it->second.epoch == victim->second.epoch &&
+           it->second.offset < victim->second.offset)) {
+        victim = it;
+      }
+    }
+    cold_->dead_bytes += victim->second.bytes;
+    cold_->budget_dropped += 1;
+    cold_->index.erase(victim);
+  }
+}
+
+// Pushes appended-but-unsynced log bytes to stable storage, page-aligned
+// (msync requires it). An msync failure is an I/O failure like any
+// other: sticky status, cold tier degrades to DRAM-only.
+void FragmentStore::SyncColdLocked() {
+  if (cold_->map == nullptr || cold_->used <= cold_->synced_used) return;
+  static const size_t kPage = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  const size_t start = cold_->synced_used & ~(kPage - 1);
+  if (::msync(cold_->map + start, cold_->used - start, MS_SYNC) != 0) {
+    cold_->status = ErrnoStatus("msync", options_.store_path);
+    cold_active_.store(false, std::memory_order_release);
+    return;
+  }
+  cold_->syncs += 1;
+  cold_->synced_used = cold_->used;
 }
 
 void FragmentStore::MaybeCompactLocked() {
@@ -518,6 +591,9 @@ void FragmentStore::MaybeCompactLocked() {
     live[i].second->offset = new_offsets[i];
   }
   cold_->compactions += 1;
+  // The rewrite went through write(), not the old mapping: nothing of
+  // the new file is known-synced yet.
+  cold_->synced_used = 0;
 }
 
 void FragmentStore::OpenAndReplay() {
@@ -626,6 +702,11 @@ void FragmentStore::OpenAndReplay() {
     }
   }
   cold_->replayed = cold_->index.size();
+  // Replayed bytes came off stable storage; only future appends are
+  // dirty. A budget tighter than the recovered live set applies
+  // immediately — a restart never resurrects more than the budget.
+  cold_->synced_used = cold_->used;
+  EnforceColdBudgetLocked();
 }
 
 FragmentStoreStats FragmentStore::Stats() const {
@@ -654,6 +735,8 @@ FragmentStoreStats FragmentStore::Stats() const {
     out.cold_stale_dropped = cold_->stale_dropped;
     out.replayed_fragments = cold_->replayed;
     out.replay_torn_bytes = cold_->torn_bytes;
+    out.cold_budget_dropped = cold_->budget_dropped;
+    out.cold_syncs = cold_->syncs;
   }
   return out;
 }

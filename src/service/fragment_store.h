@@ -95,6 +95,17 @@ struct StoredFragment {
   }
 };
 
+/// Durability policy for the cold tier's append-only log. The log is
+/// mmap'd MAP_SHARED, so appended bytes always survive process death
+/// (SIGKILL included) — fsync only matters for machine/kernel crashes.
+enum class FragmentFsyncMode {
+  kNone = 0,      ///< Never msync; the kernel writes pages back lazily.
+  kInterval = 1,  ///< The write-behind thread msyncs dirty bytes on a
+                  ///< periodic tick (Options::fsync_interval_ms).
+  kAlways = 2,    ///< msync after every append, before it is indexed as
+                  ///< durable. Strongest, slowest.
+};
+
 /// Monotonic store counters (Stats()); "hits" and "misses" count Lookup
 /// outcomes, a too-coarse stored run counts as a miss.
 struct FragmentStoreStats {
@@ -129,6 +140,10 @@ struct FragmentStoreStats {
                                     ///< boot replay.
   uint64_t replay_torn_bytes = 0;   ///< Bytes discarded at boot as the
                                     ///< torn tail of a crashed append.
+  uint64_t cold_budget_dropped = 0;  ///< Live cold entries dropped (to
+                                     ///< dead bytes) by the cold live-
+                                     ///< byte budget, oldest first.
+  uint64_t cold_syncs = 0;  ///< msync calls issued by the fsync policy.
 };
 
 /// The concurrent, sharded, LRU-byte-bounded fragment store. One store
@@ -156,6 +171,18 @@ class FragmentStore {
     /// Compaction floor: never compact a log smaller than this (the
     /// rewrite would cost more than the bytes it reclaims).
     size_t compact_min_bytes = 256 * 1024;
+    /// Cold-tier *live*-byte budget: after every append, while the log's
+    /// live bytes (used minus dead) exceed this, the oldest live
+    /// fragment — smallest (epoch, offset), i.e. least recently
+    /// published — is demoted to dead bytes and dropped from the cold
+    /// index (compaction then reclaims the space). Bounds the disk
+    /// footprint a long-running service can pin. 0 = unlimited.
+    size_t cold_budget_bytes = 0;
+    /// When the appended log bytes are pushed to stable storage.
+    FragmentFsyncMode fsync_mode = FragmentFsyncMode::kNone;
+    /// Tick period of FragmentFsyncMode::kInterval, riding the
+    /// write-behind thread's queue wait. Clamped to >= 1.
+    int fsync_interval_ms = 100;
   };
 
   /// Creates the store with `options.capacity_bytes` split evenly across
@@ -267,6 +294,8 @@ class FragmentStore {
   void AppendEpochLocked(uint64_t new_epoch);
   bool EnsureLogCapacityLocked(size_t additional);
   void AppendRawLocked(const std::string& framed);
+  void EnforceColdBudgetLocked();
+  void SyncColdLocked();
   void MaybeCompactLocked();
   void OpenAndReplay();
 

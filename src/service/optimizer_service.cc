@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "dist/backend.h"
 #include "util/str.h"
 
 namespace moqo {
@@ -187,8 +188,13 @@ struct OptimizerService::RunState {
   // tenant_fragment_hits_ (done once, at the first turn boundary —
   // seeding happens entirely during session build).
   bool fragment_hits_credited = false;
-  // Shard-thread-only state (built lazily on the first turn):
+  // Shard-thread-only state (built lazily on the first turn, or at
+  // admission when the fragment store is enabled — see Submit):
   std::unique_ptr<PlanFactory> factory;
+  // Lease on the distributed worker tier (null for local runs). Ordered
+  // before `session`: the session's optimizer holds a pointer to the
+  // lease's exchange, so the session must be destroyed first.
+  std::unique_ptr<dist::DistRun> dist;
   std::unique_ptr<IamaSession> session;
   // Per-run adapter between the session's optimizer and the service's
   // fragment store (null when the store is disabled). Shard-thread-only
@@ -218,6 +224,9 @@ OptimizerService::OptimizerService(const Catalog& catalog,
     FragmentStore::Options store_options;
     store_options.capacity_bytes = options_.fragment_cache_bytes;
     store_options.store_path = options_.fragment_store_path;
+    store_options.cold_budget_bytes = options_.fragment_cold_budget_bytes;
+    store_options.fsync_mode = options_.fragment_fsync;
+    store_options.fsync_interval_ms = options_.fragment_fsync_interval_ms;
     // With a store_path this replays the persistence log before any
     // query is admitted: the recovered epoch and cold index are in
     // place when the first lookup happens.
@@ -356,6 +365,9 @@ StatusOr<SubmitResponse> OptimizerService::Submit(SubmitRequest request) {
   // Set on a cache hit; streamed to the observer outside the lock.
   std::shared_ptr<const FrontierSnapshot> cached;
   bool notify = false;
+  // Set when the new run's session must be built before it is enqueued
+  // (fragment services build at admission; see below).
+  RunState* build_at_admission = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (draining_) {
@@ -491,9 +503,20 @@ StatusOr<SubmitResponse> OptimizerService::Submit(SubmitRequest request) {
         run->leader = id;
         entry->run = run.get();
         if (options_.coalesce_in_flight) inflight_[key] = run->run_id;
-        shard_queues_[run->home_shard].push_back(run->run_id);
+        if (fragment_store_ != nullptr) {
+          // Fragment services build the session (an O(plan-space) seed
+          // probe) at admission, outside the lock, and enqueue after:
+          // paired with the first-turn re-probe in SchedulerLoop, this
+          // brackets the window in which concurrent overlapping runs
+          // publish — instead of racing them with a single mid-window
+          // lookup. Until the run is enqueued below no shard can pop
+          // it, so the build needs no lock.
+          build_at_admission = run.get();
+        } else {
+          shard_queues_[run->home_shard].push_back(run->run_id);
+          notify = true;
+        }
         runs_.emplace(run->run_id, std::move(run));
-        notify = true;
       }
       entries_.emplace(id, std::move(entry));
     }
@@ -509,6 +532,15 @@ StatusOr<SubmitResponse> OptimizerService::Submit(SubmitRequest request) {
     // (Waiters were already notified inside the lock.)
     if (request.observer) request.observer(response.id, *cached);
   } else if (notify) {
+    work_cv_.notify_one();
+  }
+  if (build_at_admission != nullptr) {
+    BuildRun(build_at_admission);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shard_queues_[build_at_admission->home_shard].push_back(
+          build_at_admission->run_id);
+    }
     work_cv_.notify_one();
   }
   return response;
@@ -729,7 +761,27 @@ void OptimizerService::BuildRun(RunState* run) {
   iama.optimizer.pool = nullptr;   // Rebound to the stepping shard's pool
   iama.optimizer.num_threads = 1;  // each turn; the service owns all
                                    // parallelism.
-  if (fragment_store_ != nullptr) {
+  // Large queries try to lease the distributed worker tier. A null
+  // lease (tier busy, dead, or a worker rejected the assignment — e.g.
+  // the run pins a catalog version the workers don't have) just means
+  // this run executes locally; distribution is never a requirement.
+  if (options_.distributed_backend != nullptr &&
+      options_.distributed_min_tables > 0 &&
+      run->query.NumTables() >= options_.distributed_min_tables &&
+      run->max_iterations > 0) {
+    run->dist = options_.distributed_backend->TryBeginRun(
+        run->query, run->catalog_version, iama,
+        static_cast<uint32_t>(run->max_iterations));
+  }
+  if (run->dist != nullptr) {
+    // Distributed runs exchange per-cell deltas instead of sharing
+    // fragments: a cell seeded on one replica but not another would
+    // break lockstep, so the optimizer CHECKs the two are exclusive
+    // (any request-supplied fragment options are cleared here).
+    iama.optimizer.phase2_exchange = run->dist->exchange();
+    iama.optimizer.fragment_store = nullptr;
+    iama.optimizer.fragment_publish = false;
+  } else if (fragment_store_ != nullptr) {
     run->fragment_provider = std::make_unique<FragmentStoreProvider>(
         fragment_store_.get(), run->query, options_.schema, run->iama,
         options_.operator_options.enable_interesting_orders,
@@ -966,11 +1018,28 @@ void OptimizerService::SchedulerLoop(size_t shard) {
     // Stepping happens outside the lock: this shard owns the run
     // exclusively (it is in no queue right now), so Submit/Cancel/Wait/
     // ApplyBounds stay responsive during long invocations.
-    if (run->session == nullptr) BuildRun(run);
+    if (run->session == nullptr) {
+      BuildRun(run);
+    } else if (run->steps_done == 0 && run->fragment_provider != nullptr) {
+      // Fragment services build the session at admission (see Submit),
+      // so frontiers published by concurrent overlapping runs between
+      // admission and this first turn were invisible to the build-time
+      // probe. Re-probe now — lookups no longer race publishes, and a
+      // late-admitted duplicate still seeds from the leader's cells.
+      run->session->mutable_optimizer()->ReprobeFragments();
+    }
     // Work stealing may move a run between shards across turns; the
     // stepping shard's own pool partition keeps every pool single-caller.
     run->session->RebindPool(pools_[shard].get());
     if (pending.has_value()) {
+      if (run->dist != nullptr) {
+        // Re-bounding resets the resolution schedule, which the fixed-
+        // step worker replicas cannot follow. Release the tier and let
+        // the run finish locally: session state is complete at
+        // invocation boundaries, so nothing is lost but the workers.
+        run->session->mutable_optimizer()->SetPhase2Exchange(nullptr);
+        run->dist.reset();
+      }
       // Dimensions were validated by ApplyBounds against the service
       // schema, which every session shares.
       MOQO_CHECK(run->session->SetBounds(*pending));
@@ -1005,6 +1074,14 @@ void OptimizerService::SchedulerLoop(size_t shard) {
         finished = true;
         end_state = QueryState::kCancelled;
       }
+    }
+
+    // A finishing run releases its worker-tier lease before taking the
+    // lock: RELEASE frames are syscalls, and the tier frees up for the
+    // next distributed run as early as possible.
+    if (finished && run->dist != nullptr) {
+      run->session->mutable_optimizer()->SetPhase2Exchange(nullptr);
+      run->dist.reset();
     }
 
     // The publication copy (an O(|plans|) deep copy) happens while this

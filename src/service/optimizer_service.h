@@ -129,6 +129,11 @@
 
 namespace moqo {
 
+namespace dist {
+class DistributedBackend;  // dist/backend.h
+class DistRun;
+}  // namespace dist
+
 /// Service-wide configuration, fixed at construction.
 struct ServiceOptions {
   /// Total worker budget shared by all sessions' phase-2 enumeration,
@@ -177,6 +182,15 @@ struct ServiceOptions {
   /// degrades the store to DRAM-only instead of failing construction
   /// (see FragmentStore::cold_status()).
   std::string fragment_store_path;
+  /// Cold-tier live-byte budget (FragmentStore::Options::
+  /// cold_budget_bytes): oldest-first demotion-to-drop once the
+  /// persistent log's live bytes exceed it. 0 = unlimited. No effect
+  /// without fragment_store_path.
+  size_t fragment_cold_budget_bytes = 0;
+  /// Durability policy for the fragment log (optimizerd --fsync=...).
+  FragmentFsyncMode fragment_fsync = FragmentFsyncMode::kNone;
+  /// Tick period of FragmentFsyncMode::kInterval, in milliseconds.
+  int fragment_fsync_interval_ms = 100;
   /// Admission backpressure: the maximum number of physical runs (live
   /// optimizations, queued or stepping) the service holds at once.
   /// A Submit that would create a run beyond this bound is load-shed
@@ -211,6 +225,18 @@ struct ServiceOptions {
   CostModelParams cost_params;
   /// Operator library configuration shared by all queries (service-wide).
   OperatorOptions operator_options;
+  /// Distributed enumeration tier (docs/DISTRIBUTED.md): non-null routes
+  /// eligible queries' phase-2 enumeration through the backend's
+  /// coordinator/worker exchange. The backend must outlive the service.
+  /// Distribution is frontier-transparent — a distributed run's result
+  /// is bit-identical to the local run's — so it participates in no
+  /// cache key. Distributed runs never seed from or publish to the
+  /// fragment store (replica lockstep excludes pre-seeded cells).
+  dist::DistributedBackend* distributed_backend = nullptr;
+  /// Smallest query (in tables) routed to the distributed tier; smaller
+  /// queries always run locally — per-level exchange round trips dwarf
+  /// small enumerations. 0 disables routing even with a backend set.
+  int distributed_min_tables = 0;
 };
 
 /// Cache/placement key for a submission: canonicalized join graph

@@ -1,0 +1,521 @@
+// Distributed enumeration tier tests: the coordinator/worker exchange
+// must produce frontiers bit-identical to a plain local session for
+// every worker count — including after a worker dies mid-level (the
+// deterministic crash hook for the in-process transport, real SIGKILL
+// for the forked one), after a run is abandoned and the tier reassigned,
+// and when routed end to end through OptimizerService across scheduler
+// shard counts. The new fragment_codec record types (frontier delta,
+// partition assignment) must round-trip bit-exactly and reject hostile
+// bytes with a Status, never a crash. The in-process transport keeps
+// every test here TSan-clean; fork+SIGKILL legs are compiled out under
+// ThreadSanitizer.
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "catalog/tpch.h"
+#include "core/iama.h"
+#include "core/incremental_optimizer.h"
+#include "dist/backend.h"
+#include "dist/protocol.h"
+#include "query/generator.h"
+#include "service/fragment_codec.h"
+#include "service/optimizer_service.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define MOQO_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MOQO_TSAN 1
+#endif
+#endif
+
+namespace moqo {
+namespace {
+
+// A world both sides of the tier share: the coordinator's factory and
+// every worker's replica are built from the same catalog snapshot and
+// the same (result-affecting) schema/cost/operator configuration.
+struct DistWorld {
+  RandomWorld world;
+  std::shared_ptr<const CatalogSnapshot> snapshot;
+  std::unique_ptr<PlanFactory> factory;
+};
+
+DistWorld MakeDistWorld(uint64_t seed, int num_tables) {
+  DistWorld d;
+  d.world = MakeRandomWorld(seed, num_tables, /*sampling=*/false);
+  d.snapshot = d.world.catalog->Snapshot();
+  d.factory = std::make_unique<PlanFactory>(
+      d.world.query, d.snapshot, MetricSchema::Standard3(), CostModelParams{},
+      TinyOperatorOptions(/*sampling=*/false));
+  return d;
+}
+
+dist::BackendOptions InProcessBackend(const DistWorld& d, uint32_t workers) {
+  dist::BackendOptions options;
+  options.num_workers = workers;
+  options.forked = false;
+  options.worker.catalog = d.snapshot;
+  options.worker.schema = MetricSchema::Standard3();
+  options.worker.operator_options = TinyOperatorOptions(/*sampling=*/false);
+  return options;
+}
+
+IamaOptions TestIama() {
+  IamaOptions iama;
+  iama.schedule = ResolutionSchedule(5, 1.02, 0.3);
+  return iama;
+}
+
+// Steps a session through `steps` Continue() turns, returning the final
+// snapshot. Asserts the exchange (if any) never aborted.
+FrontierSnapshot DriveSession(IamaSession* session, uint32_t steps) {
+  FrontierSnapshot snap;
+  for (uint32_t i = 0; i < steps; ++i) {
+    snap = session->Step();
+    EXPECT_FALSE(session->optimizer().exchange_aborted());
+    session->ApplyAction(UserAction::Continue());
+  }
+  return snap;
+}
+
+// The repo-wide correctness bar, applied per connected table subset:
+// identical result frontiers (costs, order tags, insertion resolutions)
+// and identical work counters.
+void ExpectIdenticalToLocal(const PlanFactory& factory,
+                            const IamaSession& local,
+                            const IamaSession& distributed,
+                            const std::string& context) {
+  const IncrementalOptimizer& ref = local.optimizer();
+  const IncrementalOptimizer& dist = distributed.optimizer();
+  const CostVector& bounds = local.bounds();
+  const int resolution = local.resolution();
+  ASSERT_EQ(resolution, distributed.resolution()) << context;
+  const int n = factory.NumTables();
+  for (uint32_t mask = 1; mask < (uint32_t{1} << n); ++mask) {
+    const TableSet q(mask);
+    if (!factory.graph().IsConnected(q)) continue;
+    ASSERT_EQ(FrontierSignature(ref.ResultPlansFor(q, bounds, resolution)),
+              FrontierSignature(dist.ResultPlansFor(q, bounds, resolution)))
+        << context << " mask=" << mask;
+  }
+  const Counters& a = ref.counters();
+  const Counters& b = dist.counters();
+  EXPECT_EQ(a.plans_generated, b.plans_generated) << context;
+  EXPECT_EQ(a.pairs_generated, b.pairs_generated) << context;
+  EXPECT_EQ(a.pairs_rejected_stale, b.pairs_rejected_stale) << context;
+  EXPECT_EQ(a.result_insertions, b.result_insertions) << context;
+}
+
+TEST(DistProtocolTest, EveryCellHasExactlyOneOwner) {
+  for (uint32_t workers : {1u, 2u, 3u, 4u, 7u}) {
+    for (uint32_t mask = 1; mask < (1u << 10); ++mask) {
+      int owners = 0;
+      for (uint32_t w = 0; w < workers; ++w) {
+        if (dist::OwnsCell(TableSet(mask), w, workers)) ++owners;
+      }
+      ASSERT_EQ(owners, 1) << "mask=" << mask << " workers=" << workers;
+    }
+  }
+}
+
+TEST(DistCodecTest, FrontierDeltaRoundTripsBitExactly) {
+  FrontierDeltaRecord record;
+  record.invocation = 7;
+  record.resolution = 3;
+  record.level = 4;
+  CellDelta delta;
+  delta.cell = TableSet(0b1011);
+  delta.fresh_pairs = {{1, 2}, {0x7fffffff, 3}};
+  CellJoin join;
+  join.left = 12;
+  join.right = 9;
+  join.op.is_scan = false;
+  join.op.alg = 2;
+  join.op.workers = 2;
+  join.op.sampling_permille = 125;
+  join.op_cost.cost = CostVector{1e300, 0.1, 3.0000000000000004};
+  join.op_cost.output_rows = 1234.5678901234;
+  join.op_cost.order = 5;
+  delta.joins = {join};
+  delta.stale_pairs = 42;
+
+  const std::string bytes = EncodeFrontierDelta(record, delta);
+  FrontierDeltaRecord out_record;
+  CellDelta out;
+  ASSERT_TRUE(DecodeFrontierDelta(bytes, &out_record, &out).ok());
+  EXPECT_EQ(out_record.invocation, record.invocation);
+  EXPECT_EQ(out_record.resolution, record.resolution);
+  EXPECT_EQ(out_record.level, record.level);
+  EXPECT_EQ(out.cell.mask(), delta.cell.mask());
+  EXPECT_EQ(out.fresh_pairs, delta.fresh_pairs);
+  EXPECT_EQ(out.stale_pairs, delta.stale_pairs);
+  ASSERT_EQ(out.joins.size(), 1u);
+  EXPECT_EQ(out.joins[0].left, join.left);
+  EXPECT_EQ(out.joins[0].right, join.right);
+  EXPECT_EQ(out.joins[0].op.alg, join.op.alg);
+  EXPECT_EQ(out.joins[0].op.sampling_permille, join.op.sampling_permille);
+  // Doubles must survive bit-exactly — the whole tier rests on it.
+  EXPECT_EQ(out.joins[0].op_cost.cost[0], join.op_cost.cost[0]);
+  EXPECT_EQ(out.joins[0].op_cost.cost[2], join.op_cost.cost[2]);
+  EXPECT_EQ(out.joins[0].op_cost.output_rows, join.op_cost.output_rows);
+  EXPECT_EQ(out.joins[0].op_cost.order, join.op_cost.order);
+}
+
+TEST(DistCodecTest, PartitionAssignmentRoundTripsBitExactly) {
+  PartitionAssignment in;
+  in.worker_index = 2;
+  in.num_workers = 4;
+  in.catalog_version = 9001;
+  in.query.name = "q7";
+  in.query.tables = {{0, 0.25, "a"}, {3, 1.0, ""}, {5, 0.125, "c"}};
+  in.query.joins = {{0, 1, 0.01}, {1, 2, 0.30000000000000004}};
+  in.schedule = ResolutionSchedule(7, 1.03, 0.25, ResolutionSchedule::Kind::kGeometric);
+  in.initial_bounds = CostVector{12.5, 1e-300, 7.0};
+  in.cell_gamma = 2.5;
+  in.prune_against_all_resolutions = true;
+  in.park_next_level_only = false;
+  in.sorted_pruning = true;
+  in.steps = 11;
+
+  PartitionAssignment out;
+  ASSERT_TRUE(DecodePartitionAssignment(EncodePartitionAssignment(in), &out).ok());
+  EXPECT_EQ(out.worker_index, in.worker_index);
+  EXPECT_EQ(out.num_workers, in.num_workers);
+  EXPECT_EQ(out.catalog_version, in.catalog_version);
+  EXPECT_EQ(out.query.name, in.query.name);
+  ASSERT_EQ(out.query.tables.size(), in.query.tables.size());
+  for (size_t i = 0; i < in.query.tables.size(); ++i) {
+    EXPECT_EQ(out.query.tables[i].table, in.query.tables[i].table);
+    EXPECT_EQ(out.query.tables[i].predicate_selectivity,
+              in.query.tables[i].predicate_selectivity);
+    EXPECT_EQ(out.query.tables[i].alias, in.query.tables[i].alias);
+  }
+  ASSERT_EQ(out.query.joins.size(), in.query.joins.size());
+  EXPECT_EQ(out.query.joins[1].selectivity, in.query.joins[1].selectivity);
+  EXPECT_EQ(out.schedule.NumLevels(), in.schedule.NumLevels());
+  EXPECT_EQ(out.schedule.alpha_target(), in.schedule.alpha_target());
+  EXPECT_EQ(out.schedule.alpha_step(), in.schedule.alpha_step());
+  EXPECT_EQ(out.schedule.kind(), in.schedule.kind());
+  ASSERT_TRUE(out.initial_bounds.has_value());
+  EXPECT_EQ((*out.initial_bounds)[1], (*in.initial_bounds)[1]);
+  EXPECT_EQ(out.cell_gamma, in.cell_gamma);
+  EXPECT_EQ(out.prune_against_all_resolutions, in.prune_against_all_resolutions);
+  EXPECT_EQ(out.park_next_level_only, in.park_next_level_only);
+  EXPECT_EQ(out.sorted_pruning, in.sorted_pruning);
+  EXPECT_EQ(out.steps, in.steps);
+}
+
+// Hostile bytes: every truncation and every single-byte corruption of a
+// valid encoding must come back as a Status — the worker decodes these
+// straight off a socket, so a crash here is a remote crash.
+TEST(DistCodecTest, HostileBytesNeverCrashTheDecoders) {
+  FrontierDeltaRecord record;
+  record.invocation = 3;
+  record.level = 2;
+  CellDelta delta;
+  delta.cell = TableSet(0b011);
+  delta.fresh_pairs = {{4, 5}};
+  CellJoin join;
+  join.op_cost.cost = CostVector{1.0, 2.0, 3.0};
+  delta.joins = {join};
+  const std::string delta_bytes = EncodeFrontierDelta(record, delta);
+
+  PartitionAssignment assignment;
+  assignment.query.tables = {{0, 1.0, ""}, {1, 1.0, ""}};
+  assignment.query.joins = {{0, 1, 0.5}};
+  assignment.initial_bounds = CostVector{1.0, 2.0, 3.0};
+  const std::string assign_bytes = EncodePartitionAssignment(assignment);
+
+  for (const std::string& valid : {delta_bytes, assign_bytes}) {
+    for (size_t len = 0; len < valid.size(); ++len) {
+      const std::string truncated = valid.substr(0, len);
+      FrontierDeltaRecord r;
+      CellDelta d;
+      (void)DecodeFrontierDelta(truncated, &r, &d);
+      PartitionAssignment a;
+      (void)DecodePartitionAssignment(truncated, &a);
+    }
+    for (size_t i = 0; i < valid.size(); ++i) {
+      for (uint8_t flip : {uint8_t{0x01}, uint8_t{0x80}, uint8_t{0xff}}) {
+        std::string corrupt = valid;
+        corrupt[i] = static_cast<char>(corrupt[i] ^ flip);
+        FrontierDeltaRecord r;
+        CellDelta d;
+        (void)DecodeFrontierDelta(corrupt, &r, &d);
+        PartitionAssignment a;
+        (void)DecodePartitionAssignment(corrupt, &a);
+      }
+    }
+  }
+}
+
+class DistEquivalence : public ::testing::TestWithParam<uint32_t> {};
+
+// The tentpole bar: a session whose phase 2 runs across the worker tier
+// finishes with every connected subset's frontier — and all work
+// counters — bit-identical to a plain local session.
+TEST_P(DistEquivalence, DistributedRunMatchesLocalBitIdentically) {
+  const uint32_t workers = GetParam();
+  const DistWorld d = MakeDistWorld(/*seed=*/41, /*num_tables=*/7);
+  dist::DistributedBackend backend(InProcessBackend(d, workers));
+  const IamaOptions iama = TestIama();
+  const uint32_t steps = static_cast<uint32_t>(iama.schedule.NumLevels());
+
+  auto run = backend.TryBeginRun(d.world.query, d.snapshot->version(), iama,
+                                 steps);
+  ASSERT_NE(run, nullptr);
+  EXPECT_EQ(run->live_workers(), workers);
+
+  IamaOptions dist_iama = iama;
+  dist_iama.optimizer.phase2_exchange = run->exchange();
+  IamaSession distributed(*d.factory, dist_iama);
+  IamaSession local(*d.factory, iama);
+
+  const FrontierSnapshot dist_snap = DriveSession(&distributed, steps);
+  const FrontierSnapshot local_snap = DriveSession(&local, steps);
+  run.reset();  // Release the tier.
+
+  EXPECT_EQ(FrontierSignature(dist_snap.plans),
+            FrontierSignature(local_snap.plans));
+  EXPECT_EQ(dist_snap.alpha, local_snap.alpha);
+  ExpectIdenticalToLocal(*d.factory, local, distributed,
+                         "workers=" + std::to_string(workers));
+  EXPECT_EQ(backend.runs_started(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, DistEquivalence,
+                         ::testing::Values(1u, 2u, 4u));
+
+// Worker death mid-level: the crash hook shuts one worker's socket down
+// after its Nth delta frame — exactly what SIGKILL looks like from the
+// coordinator. The run must complete with bit-identical results (the
+// dead worker's unsent cells are recomputed by every surviving replica)
+// and the tier must report the casualty.
+TEST(DistFailureTest, WorkerCrashMidLevelKeepsResultsBitIdentical) {
+  const DistWorld d = MakeDistWorld(/*seed=*/42, /*num_tables=*/7);
+  dist::BackendOptions options = InProcessBackend(d, /*workers=*/2);
+  options.crash_worker = 1;
+  options.worker.crash_after_deltas = 3;
+  dist::DistributedBackend backend(options);
+  const IamaOptions iama = TestIama();
+  const uint32_t steps = static_cast<uint32_t>(iama.schedule.NumLevels());
+
+  auto run = backend.TryBeginRun(d.world.query, d.snapshot->version(), iama,
+                                 steps);
+  ASSERT_NE(run, nullptr);
+
+  IamaOptions dist_iama = iama;
+  dist_iama.optimizer.phase2_exchange = run->exchange();
+  IamaSession distributed(*d.factory, dist_iama);
+  IamaSession local(*d.factory, iama);
+
+  const FrontierSnapshot dist_snap = DriveSession(&distributed, steps);
+  const FrontierSnapshot local_snap = DriveSession(&local, steps);
+  EXPECT_EQ(run->live_workers(), 1u);  // The drill fired.
+  run.reset();
+
+  EXPECT_EQ(FrontierSignature(dist_snap.plans),
+            FrontierSignature(local_snap.plans));
+  ExpectIdenticalToLocal(*d.factory, local, distributed, "crash drill");
+}
+
+// Abandoning a leased run (no steps taken) must leave the tier usable:
+// the workers' straggler frames from the abandoned sequence are drained
+// by the next assignment, which then runs to a bit-identical finish.
+TEST(DistFailureTest, AbandonedRunLeavesTierReassignable) {
+  const DistWorld d = MakeDistWorld(/*seed=*/43, /*num_tables=*/6);
+  dist::DistributedBackend backend(InProcessBackend(d, /*workers=*/2));
+  const IamaOptions iama = TestIama();
+  const uint32_t steps = static_cast<uint32_t>(iama.schedule.NumLevels());
+
+  auto abandoned = backend.TryBeginRun(d.world.query, d.snapshot->version(),
+                                       iama, steps);
+  ASSERT_NE(abandoned, nullptr);
+  // While leased, the tier is busy: a second run cannot start.
+  EXPECT_EQ(backend.TryBeginRun(d.world.query, d.snapshot->version(), iama,
+                                steps),
+            nullptr);
+  abandoned.reset();  // Never stepped: workers abort at their first barrier.
+
+  auto run = backend.TryBeginRun(d.world.query, d.snapshot->version(), iama,
+                                 steps);
+  ASSERT_NE(run, nullptr);
+  IamaOptions dist_iama = iama;
+  dist_iama.optimizer.phase2_exchange = run->exchange();
+  IamaSession distributed(*d.factory, dist_iama);
+  IamaSession local(*d.factory, iama);
+  const FrontierSnapshot dist_snap = DriveSession(&distributed, steps);
+  const FrontierSnapshot local_snap = DriveSession(&local, steps);
+  run.reset();
+  EXPECT_EQ(FrontierSignature(dist_snap.plans),
+            FrontierSignature(local_snap.plans));
+  ExpectIdenticalToLocal(*d.factory, local, distributed, "reassigned");
+}
+
+// A worker that rejects the assignment (catalog version skew) fails the
+// whole lease — all-or-nothing — and the caller falls back to local.
+TEST(DistFailureTest, CatalogVersionSkewRejectsTheLease) {
+  const DistWorld d = MakeDistWorld(/*seed=*/44, /*num_tables=*/5);
+  dist::DistributedBackend backend(InProcessBackend(d, /*workers=*/2));
+  const IamaOptions iama = TestIama();
+  EXPECT_EQ(backend.TryBeginRun(d.world.query, d.snapshot->version() + 1,
+                                iama, /*steps=*/5),
+            nullptr);
+  EXPECT_GE(backend.runs_rejected(), 1u);
+  // The tier is not poisoned: a well-versioned run still leases.
+  auto run = backend.TryBeginRun(d.world.query, d.snapshot->version(), iama,
+                                 /*steps=*/5);
+  ASSERT_NE(run, nullptr);
+}
+
+// End-to-end routing: an OptimizerService with a distributed backend
+// must return frontiers bit-identical to a plain local service for the
+// same workload, for every worker count x shard count. Concurrent
+// submissions also exercise the lease-busy local fallback.
+void ExpectServiceMatchesLocal(uint32_t workers, int shards) {
+  Catalog catalog = MakeTpchCatalog();
+  std::vector<Query> queries;
+  Rng rng(7);
+  for (int i = 0; i < 4; ++i) {
+    GeneratorOptions gen;
+    gen.num_tables = 5 + (i % 2);
+    gen.topology = i % 2 == 0 ? Topology::kChain : Topology::kRandomTree;
+    Query q = RandomQuery(rng, gen, &catalog);
+    q.name = "dist" + std::to_string(i);
+    queries.push_back(std::move(q));
+  }
+
+  ServiceOptions service_opts;
+  service_opts.num_threads = 2;
+  service_opts.num_shards = shards;
+  service_opts.operator_options = TinyOperatorOptions(/*sampling=*/false);
+  service_opts.frontier_cache_capacity = 0;  // Force every run to optimize.
+  service_opts.coalesce_in_flight = false;
+
+  dist::BackendOptions backend_opts;
+  backend_opts.num_workers = workers;
+  backend_opts.forked = false;
+  backend_opts.worker.catalog = catalog.Snapshot();
+  backend_opts.worker.schema = service_opts.schema;
+  backend_opts.worker.cost_params = service_opts.cost_params;
+  backend_opts.worker.operator_options = service_opts.operator_options;
+  dist::DistributedBackend backend(backend_opts);
+
+  ServiceOptions dist_opts = service_opts;
+  dist_opts.distributed_backend = &backend;
+  dist_opts.distributed_min_tables = 3;
+
+  SubmitOptions submit;
+  submit.iama.schedule = ResolutionSchedule(4, 1.02, 0.3);
+
+  OptimizerService dist_service(catalog, dist_opts);
+  OptimizerService local_service(catalog, service_opts);
+  std::vector<QueryId> dist_ids, local_ids;
+  for (const Query& q : queries) {
+    dist_ids.push_back(dist_service.Submit(q, submit).value());
+    local_ids.push_back(local_service.Submit(q, submit).value());
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const QueryResult dist_result = dist_service.Wait(dist_ids[i]);
+    const QueryResult local_result = local_service.Wait(local_ids[i]);
+    ASSERT_EQ(dist_result.state, QueryState::kDone) << queries[i].name;
+    ASSERT_EQ(local_result.state, QueryState::kDone) << queries[i].name;
+    ASSERT_EQ(FrontierSignature(dist_result.frontier.plans),
+              FrontierSignature(local_result.frontier.plans))
+        << queries[i].name << " workers=" << workers << " shards=" << shards;
+    EXPECT_EQ(dist_result.frontier.alpha, local_result.frontier.alpha);
+    EXPECT_EQ(dist_result.frontier.resolution, local_result.frontier.resolution);
+  }
+  // At least one run actually took the distributed path (5-6 table
+  // queries clear the min-tables gate whenever the lease is free).
+  EXPECT_GE(backend.runs_started(), 1u);
+}
+
+class DistService
+    : public ::testing::TestWithParam<std::tuple<uint32_t, int>> {};
+
+TEST_P(DistService, RoutedServiceMatchesLocalService) {
+  const auto [workers, shards] = GetParam();
+  ExpectServiceMatchesLocal(workers, shards);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkersByShards, DistService,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u), ::testing::Values(1, 2)));
+
+#if !defined(MOQO_TSAN)
+// Forked transport: the production shape. One real child process per
+// worker; results must match the local session exactly as with threads.
+TEST(DistForkedTest, ForkedWorkersMatchLocalBitIdentically) {
+  const DistWorld d = MakeDistWorld(/*seed=*/45, /*num_tables=*/6);
+  dist::BackendOptions options = InProcessBackend(d, /*workers=*/2);
+  options.forked = true;
+  dist::DistributedBackend backend(options);
+  ASSERT_EQ(backend.worker_pids().size(), 2u);
+  const IamaOptions iama = TestIama();
+  const uint32_t steps = static_cast<uint32_t>(iama.schedule.NumLevels());
+
+  auto run = backend.TryBeginRun(d.world.query, d.snapshot->version(), iama,
+                                 steps);
+  ASSERT_NE(run, nullptr);
+  IamaOptions dist_iama = iama;
+  dist_iama.optimizer.phase2_exchange = run->exchange();
+  IamaSession distributed(*d.factory, dist_iama);
+  IamaSession local(*d.factory, iama);
+  const FrontierSnapshot dist_snap = DriveSession(&distributed, steps);
+  const FrontierSnapshot local_snap = DriveSession(&local, steps);
+  run.reset();
+  EXPECT_EQ(FrontierSignature(dist_snap.plans),
+            FrontierSignature(local_snap.plans));
+  ExpectIdenticalToLocal(*d.factory, local, distributed, "forked");
+}
+
+// Real SIGKILL, delivered from a side thread while the run is in
+// flight. Whenever the kill lands — before, during, or between levels —
+// the surviving replicas recompute the dead worker's cells and the
+// result stays bit-identical. (Timing-dependent path, deterministic
+// outcome: that is the whole design.)
+TEST(DistForkedTest, SigkillMidRunKeepsResultsBitIdentical) {
+  const DistWorld d = MakeDistWorld(/*seed=*/46, /*num_tables=*/7);
+  dist::BackendOptions options = InProcessBackend(d, /*workers=*/2);
+  options.forked = true;
+  dist::DistributedBackend backend(options);
+  ASSERT_EQ(backend.worker_pids().size(), 2u);
+  const IamaOptions iama = TestIama();
+  const uint32_t steps = static_cast<uint32_t>(iama.schedule.NumLevels());
+
+  auto run = backend.TryBeginRun(d.world.query, d.snapshot->version(), iama,
+                                 steps);
+  ASSERT_NE(run, nullptr);
+  IamaOptions dist_iama = iama;
+  dist_iama.optimizer.phase2_exchange = run->exchange();
+  IamaSession distributed(*d.factory, dist_iama);
+  IamaSession local(*d.factory, iama);
+
+  std::thread killer([&backend] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ::kill(backend.worker_pids()[1], SIGKILL);
+  });
+  const FrontierSnapshot dist_snap = DriveSession(&distributed, steps);
+  killer.join();
+  const FrontierSnapshot local_snap = DriveSession(&local, steps);
+  run.reset();
+  EXPECT_EQ(FrontierSignature(dist_snap.plans),
+            FrontierSignature(local_snap.plans));
+  ExpectIdenticalToLocal(*d.factory, local, distributed, "sigkill");
+}
+#endif  // !MOQO_TSAN
+
+}  // namespace
+}  // namespace moqo

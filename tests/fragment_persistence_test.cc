@@ -11,6 +11,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -332,6 +333,122 @@ TEST(FragmentPersistenceTest, SameKeyRepublishNeverExceedsByteBudget) {
   }
 }
 
+// --- Cold live-byte budget --------------------------------------------------
+
+TEST(FragmentPersistenceTest, ColdBudgetDropsOldestFirst) {
+  TempDir dir;
+  // Hot capacity 0: every lookup goes through the cold index, so what
+  // survives the budget is directly observable.
+  FragmentStore::Options opts = TieredOptions(dir.LogPath(), /*capacity=*/0);
+  // Roomy enough for a handful of fragments, far too small for 40.
+  opts.cold_budget_bytes = 4096;
+  opts.compact_min_bytes = 1 << 30;  // Keep compaction out of the picture.
+  FragmentStore store(opts);
+  for (int i = 0; i < 40; ++i) {
+    store.Publish("k" + std::to_string(i), MakeFragment(2, 16, 0.5 * i));
+  }
+  store.Flush();
+  const FragmentStoreStats stats = store.Stats();
+  EXPECT_GT(stats.cold_budget_dropped, 0u);
+  ASSERT_LE(stats.cold_bytes - stats.cold_dead_bytes, opts.cold_budget_bytes);
+  // Oldest-first: the survivors are exactly a suffix of publish order.
+  bool in_suffix = false;
+  for (int i = 0; i < 40; ++i) {
+    const bool live = store.Lookup("k" + std::to_string(i), 2) != nullptr;
+    if (live) in_suffix = true;
+    if (in_suffix) {
+      EXPECT_TRUE(live) << "hole at k" << i << " breaks oldest-first order";
+    }
+  }
+  EXPECT_TRUE(in_suffix);
+  EXPECT_EQ(store.Lookup("k0", 2), nullptr);
+  EXPECT_NE(store.Lookup("k39", 2), nullptr);
+}
+
+TEST(FragmentPersistenceTest, ColdBudgetAppliesAtReplay) {
+  TempDir dir;
+  {
+    FragmentStore store(TieredOptions(dir.LogPath()));  // Unlimited.
+    for (int i = 0; i < 40; ++i) {
+      store.Publish("k" + std::to_string(i), MakeFragment(2, 16, 0.5 * i));
+    }
+  }
+  // Reopen with a tight budget: the recovered live set is trimmed,
+  // oldest first, before the store starts serving.
+  FragmentStore::Options opts = TieredOptions(dir.LogPath());
+  opts.cold_budget_bytes = 4096;
+  FragmentStore store(opts);
+  const FragmentStoreStats stats = store.Stats();
+  EXPECT_GT(stats.cold_budget_dropped, 0u);
+  ASSERT_LE(stats.cold_bytes - stats.cold_dead_bytes, opts.cold_budget_bytes);
+  EXPECT_LT(stats.cold_entries, 40u);
+  // The newest publish survived; the oldest went first.
+  EXPECT_NE(store.Lookup("k39", 2), nullptr);
+  EXPECT_EQ(store.Lookup("k0", 2), nullptr);
+}
+
+// --- Fsync policy -----------------------------------------------------------
+
+TEST(FragmentPersistenceTest, FsyncAlwaysSyncsEveryAppend) {
+  TempDir dir;
+  FragmentStore::Options opts = TieredOptions(dir.LogPath());
+  opts.fsync_mode = FragmentFsyncMode::kAlways;
+  FragmentStore store(opts);
+  for (int i = 0; i < 8; ++i) {
+    store.Publish("k" + std::to_string(i), MakeFragment(2, 4));
+  }
+  store.Flush();  // Before the bump: a bump makes queued publishes stale.
+  store.BumpEpoch();
+  store.Flush();
+  const FragmentStoreStats stats = store.Stats();
+  EXPECT_TRUE(store.cold_status().ok());
+  EXPECT_EQ(stats.cold_syncs, stats.cold_appends);
+  EXPECT_GE(stats.cold_syncs, 9u);  // 8 fragments + 1 epoch record.
+}
+
+TEST(FragmentPersistenceTest, FsyncIntervalSyncsOnTheTick) {
+  TempDir dir;
+  FragmentStore::Options opts = TieredOptions(dir.LogPath());
+  opts.fsync_mode = FragmentFsyncMode::kInterval;
+  opts.fsync_interval_ms = 5;
+  FragmentStore store(opts);
+  for (int i = 0; i < 8; ++i) {
+    store.Publish("k" + std::to_string(i), MakeFragment(2, 4));
+  }
+  store.Flush();
+  // The appends are queued-then-logged; the tick catches up with them
+  // within a few intervals.
+  FragmentStoreStats stats = store.Stats();
+  for (int tries = 0; tries < 200 && stats.cold_syncs == 0; ++tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    stats = store.Stats();
+  }
+  EXPECT_TRUE(store.cold_status().ok());
+  EXPECT_GE(stats.cold_syncs, 1u);
+  // Far fewer syncs than appends is the whole point of the mode.
+  EXPECT_LE(stats.cold_syncs, stats.cold_appends);
+}
+
+TEST(FragmentPersistenceTest, FsyncIntervalFinalSyncOnShutdown) {
+  TempDir dir;
+  FragmentStore::Options opts = TieredOptions(dir.LogPath());
+  opts.fsync_mode = FragmentFsyncMode::kInterval;
+  opts.fsync_interval_ms = 60'000;  // Tick will not fire during the test.
+  uint64_t syncs = 0;
+  {
+    FragmentStore store(opts);
+    store.Publish("k", MakeFragment(2, 4));
+    store.Flush();
+    syncs = store.Stats().cold_syncs;
+  }
+  // Destruction drains and issues the shutdown sync; reopening proves
+  // the record is in the log regardless.
+  FragmentStore reopened(TieredOptions(dir.LogPath()));
+  EXPECT_EQ(reopened.Stats().replayed_fragments, 1u);
+  EXPECT_NE(reopened.Lookup("k", 2), nullptr);
+  (void)syncs;
+}
+
 // --- Service-level warm restart: the end-to-end bit-identity bar -----------
 
 // Mirrors fragment_store_test's shared workload (kept local: this suite
@@ -438,15 +555,18 @@ TEST(FragmentPersistenceServiceTest, RefreshCatalogInvalidationIsDurable) {
         service.Wait(service.Submit(ChainQuery(), submit).value());
     ASSERT_EQ(result.state, QueryState::kDone);
     // Publishing happens on the shard thread after the result is
-    // waitable; barrier on it so every fragment lands under epoch 0 and
-    // the bump below invalidates all of them (a publish racing past the
-    // bump would persist under the new epoch with an old-epoch key —
-    // unreachable, but it would keep replayed_fragments nonzero).
-    while (service.stats().fragment_publishes == 0) {
-      std::this_thread::yield();
-    }
+    // waitable; destruction is the only barrier that covers *all* of a
+    // run's publishes (waiting on the publish counter only proves the
+    // first one happened — a later publish racing the bump below would
+    // persist under the new epoch and make this test flake).
+  }
+  {
     // Statistics drift, then refresh: the epoch bump that invalidates
     // every published fragment must be durable across the restart.
+    OptimizerService service(catalog,
+                             PersistentServiceOptions(dir.LogPath()));
+    ASSERT_NE(service.fragment_store(), nullptr);
+    ASSERT_GT(service.fragment_store()->Stats().replayed_fragments, 0u);
     ASSERT_TRUE(
         catalog
             .UpdateStats(TpchTable::kOrders,
